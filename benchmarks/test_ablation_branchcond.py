@@ -1,0 +1,57 @@
+"""E11 — ablation: branch conditioning vs branch independence.
+
+The reproduction's estimator can condition a joint histogram on a covered
+branch predicate (restricting to points with a positive witness count)
+instead of multiplying an independent existence probability; this bench
+quantifies the difference on the P workloads.
+"""
+
+import pytest
+
+from repro.estimation import TwigEstimator
+from repro.experiments import (
+    format_branch_conditioning_ablation,
+    run_branch_conditioning_ablation,
+    synopsis_sweep,
+    workload,
+)
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def branch_ablation(experiment_config):
+    rows = run_branch_conditioning_ablation(experiment_config)
+    record_report(
+        "ablation_branchcond", format_branch_conditioning_ablation(rows)
+    )
+    return rows
+
+
+def test_conditioning_not_worse(branch_ablation):
+    """Conditioning uses strictly more of the stored information."""
+    for row in branch_ablation:
+        assert row.first_error <= row.second_error * 1.25 + 0.05
+
+
+def test_benchmark_conditioned_estimation(
+    benchmark, branch_ablation, experiment_config
+):
+    """Latency of a conditioned estimate on a branch-heavy query."""
+    sketch = synopsis_sweep("imdb", experiment_config)[-1]
+    estimator = TwigEstimator(sketch, branch_conditioning=True)
+    load = workload("imdb", "P", experiment_config)
+    entry = next(
+        (
+            e
+            for e in load.queries
+            if any(
+                step.branches
+                for node in e.query.nodes()
+                for step in node.path.steps
+            )
+        ),
+        load.queries[0],
+    )
+    estimate = benchmark(estimator.estimate, entry.query)
+    assert estimate >= 0

@@ -1,0 +1,46 @@
+"""E8 — ablation: stored per-edge counts vs stability-only estimation.
+
+DESIGN.md §3 documents storing ``|n_i → n_j|`` on each edge (4 bytes,
+charged to the budget) as the charitable reading of the paper; the
+stability-only fallback apportions extents by stability and source sizes.
+This ablation quantifies what those 4 bytes buy.
+"""
+
+import pytest
+
+from repro.experiments import (
+    format_edge_count_ablation,
+    run_edge_count_ablation,
+)
+from repro.synopsis import TwigXSketch, XSketchConfig
+from repro.experiments import dataset
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def edge_count_ablation(experiment_config):
+    rows = run_edge_count_ablation(experiment_config)
+    record_report("ablation_edgecounts", format_edge_count_ablation(rows))
+    return rows
+
+
+def test_both_variants_produce_finite_errors(edge_count_ablation):
+    for row in edge_count_ablation:
+        assert row.first_error >= 0
+        assert row.second_error >= 0
+
+
+def test_stored_counts_not_worse(edge_count_ablation):
+    """Stored counts never lose information, so errors should not be
+    meaningfully worse than the fallback."""
+    for row in edge_count_ablation:
+        assert row.first_error <= row.second_error * 1.5 + 0.05
+
+
+def test_benchmark_fallback_sketch_build(benchmark, edge_count_ablation, experiment_config):
+    """Latency of the coarsest build without stored edge counts."""
+    tree = dataset("imdb", experiment_config)
+    config = XSketchConfig(store_edge_counts=False)
+    sketch = benchmark(TwigXSketch.coarsest, tree, config)
+    assert sketch.size_bytes() > 0

@@ -1,0 +1,55 @@
+"""E9 — ablation: centroid histograms vs Haar wavelets.
+
+Section 3.2 of the paper: an edge distribution "can be summarized very
+efficiently using multidimensional methods such as histograms and
+wavelets".  Both engines implement the same points() interface; this
+ablation runs the full P-workload sweep once per engine.
+"""
+
+import pytest
+
+from repro.experiments import (
+    dataset,
+    format_engine_ablation,
+    run_engine_ablation,
+)
+from repro.histogram import CentroidHistogram, SparseDistribution, WaveletHistogram
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def engine_ablation(experiment_config):
+    rows = run_engine_ablation(experiment_config)
+    record_report("ablation_histograms", format_engine_ablation(rows))
+    return rows
+
+
+def test_both_engines_usable(engine_ablation):
+    for row in engine_ablation:
+        assert row.first_error >= 0
+        assert row.second_error >= 0
+        # neither engine should be catastrophically broken
+        assert max(row.first_error, row.second_error) < 3.0
+
+
+@pytest.fixture(scope="module")
+def movie_distribution(experiment_config):
+    tree = dataset("imdb", experiment_config)
+    observations = [
+        (movie.child_count("actor"), movie.child_count("keyword"))
+        for movie in tree.extent("movie")
+    ]
+    return SparseDistribution.from_observations(observations)
+
+
+def test_benchmark_centroid_compression(benchmark, engine_ablation, movie_distribution):
+    """Latency of compressing a real joint count distribution (centroid)."""
+    histogram = benchmark(CentroidHistogram, movie_distribution, 8)
+    assert histogram.bucket_count() <= 8
+
+
+def test_benchmark_wavelet_compression(benchmark, engine_ablation, movie_distribution):
+    """Latency of compressing the same distribution (Haar wavelet)."""
+    histogram = benchmark(WaveletHistogram, movie_distribution, 8)
+    assert histogram.bucket_count() <= 8

@@ -1,0 +1,49 @@
+"""E7 — Twig vs Structural XSKETCH on single-path workloads.
+
+Section 6.2: "Twig XSKETCHes compute low-error estimates of path
+selectivities, but, as expected, Structural XSKETCHes enable more
+accurate approximations since they target specifically the problem of
+selectivity estimation for single paths."
+"""
+
+import pytest
+
+from repro.estimation import PathEstimator
+from repro.experiments import (
+    format_path_ablation,
+    run_path_ablation,
+    synopsis_sweep,
+    workload,
+)
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def path_ablation(experiment_config):
+    rows = run_path_ablation(experiment_config)
+    record_report("ablation_paths", format_path_ablation(rows))
+    return rows
+
+
+def test_twig_estimates_paths_with_low_error(path_ablation):
+    """Twig synopses remain usable on pure path queries."""
+    for row in path_ablation:
+        assert row.first_error < 0.8
+
+
+def test_structural_estimator_competitive(path_ablation):
+    """The dedicated path estimator is at least in the same accuracy
+    class (the paper finds it more accurate)."""
+    for row in path_ablation:
+        assert row.second_error <= row.first_error * 2.0 + 0.05
+
+
+def test_benchmark_path_estimation(benchmark, path_ablation, experiment_config):
+    """Latency of one single-path estimate."""
+    sketch = synopsis_sweep("imdb", experiment_config)[-1]
+    estimator = PathEstimator(sketch)
+    from repro.query import parse_path
+
+    result = benchmark(estimator.estimate, parse_path("movie/actor"))
+    assert result > 0

@@ -1,0 +1,57 @@
+"""E3 — Figure 9(a): error vs synopsis size, P workload (IMDB + XMark).
+
+The headline result: XBUILD drives the estimation error of the
+correlated IMDB data down as the budget grows, while the regular XMark
+stays accurate at every size.  Benchmarks the twig-estimation call — the
+operation whose latency must fit a query optimizer's budget.
+"""
+
+import pytest
+
+from repro.estimation import TwigEstimator
+from repro.experiments import (
+    format_figure9a,
+    run_figure9a,
+    synopsis_sweep,
+    workload,
+)
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def figure9a(experiment_config):
+    series = run_figure9a(experiment_config)
+    record_report("figure9a", format_figure9a(series))
+    return series
+
+
+def test_imdb_error_decreases(figure9a):
+    """Paper: 124% at the coarsest point falling to ~20% — the error at
+    the largest budget must be well below the coarsest error."""
+    points = figure9a["IMDB"]
+    first_error = points[0][1]
+    last_error = points[-1][1]
+    assert last_error < first_error * 0.6
+
+
+def test_xmark_stays_low(figure9a):
+    """Paper: XMark exhibits low error for all storage sizes."""
+    points = figure9a["XMARK"]
+    assert all(error < 40.0 for _, error in points)
+    assert points[-1][1] < 15.0
+
+
+def test_sizes_increase(figure9a):
+    for points in figure9a.values():
+        sizes = [size for size, _ in points]
+        assert sizes == sorted(sizes)
+
+
+def test_benchmark_twig_estimation(benchmark, figure9a, experiment_config):
+    """Latency of one twig selectivity estimate on the largest synopsis."""
+    sketch = synopsis_sweep("imdb", experiment_config)[-1]
+    estimator = TwigEstimator(sketch)
+    entry = workload("imdb", "P", experiment_config).queries[0]
+    estimate = benchmark(estimator.estimate, entry.query)
+    assert estimate >= 0

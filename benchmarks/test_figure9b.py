@@ -1,0 +1,55 @@
+"""E4 — Figure 9(b): error vs synopsis size, P+V workload (IMDB + XMark).
+
+Branching *and* value predicates: the paper observes the same downward
+trend as 9(a) at a higher absolute error (the estimation problem now
+includes selections and semi-joins, and the measured prototype keeps
+1-D value histograms).  Benchmarks estimation of a value-predicated twig.
+"""
+
+import pytest
+
+from repro.estimation import TwigEstimator
+from repro.experiments import (
+    format_figure9b,
+    run_figure9b,
+    synopsis_sweep,
+    workload,
+)
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def figure9b(experiment_config):
+    series = run_figure9b(experiment_config)
+    record_report("figure9b", format_figure9b(series))
+    return series
+
+
+def test_error_reduced_from_coarsest(figure9b):
+    """Paper: the coarsest summary's high error is significantly reduced
+    at larger sizes."""
+    points = figure9b["IMDB"]
+    assert points[-1][1] < points[0][1]
+
+
+def test_pv_error_higher_than_p(figure9b, experiment_config):
+    """Paper: overall error increases relative to the P-only workload."""
+    from repro.experiments import run_figure9a
+
+    figure9a = run_figure9a(experiment_config)
+    # compare the final (largest-synopsis) points
+    assert figure9b["IMDB"][-1][1] > figure9a["IMDB"][-1][1]
+
+
+def test_benchmark_pv_estimation(benchmark, figure9b, experiment_config):
+    """Latency of estimating a twig with value predicates."""
+    sketch = synopsis_sweep("imdb", experiment_config)[-1]
+    estimator = TwigEstimator(sketch)
+    load = workload("imdb", "P+V", experiment_config)
+    entry = next(
+        (e for e in load.queries if e.query.has_value_predicates()),
+        load.queries[0],
+    )
+    estimate = benchmark(estimator.estimate, entry.query)
+    assert estimate >= 0

@@ -1,0 +1,44 @@
+"""E6 — negative workloads (Section 6.1's robustness remark).
+
+"We have also experimented with 'negative' workloads (selectivity equal
+to zero) and we have found that our synopses consistently give close to
+zero estimates for this type of queries."
+"""
+
+import pytest
+
+from repro.estimation import TwigEstimator
+from repro.experiments import (
+    format_negative,
+    run_negative,
+    synopsis_sweep,
+    workload,
+)
+from repro.workload import sanity_bound
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def negative(experiment_config):
+    results = run_negative(experiment_config)
+    record_report("negative", format_negative(results))
+    return results
+
+
+def test_estimates_close_to_zero(negative, experiment_config):
+    """Mean estimate on zero-selectivity queries stays below the sanity
+    bound of the corresponding positive workload."""
+    for result in negative:
+        positive = workload(result.name.lower(), "P", experiment_config)
+        bound = sanity_bound(positive.true_counts())
+        assert result.mean_estimate <= bound
+
+
+def test_benchmark_negative_estimation(benchmark, negative, experiment_config):
+    """Latency of estimating a structurally impossible twig."""
+    sketch = synopsis_sweep("imdb", experiment_config)[-1]
+    estimator = TwigEstimator(sketch)
+    entry = workload("imdb", "negative", experiment_config).queries[0]
+    estimate = benchmark(estimator.estimate, entry.query)
+    assert estimate >= 0

@@ -1,0 +1,38 @@
+"""E1 — Table 1: data-set characteristics.
+
+Regenerates the element counts, text sizes, and coarsest-synopsis sizes
+for the three data sets, and benchmarks coarsest-synopsis construction
+(the operation Table 1's last row measures the output of).
+"""
+
+import pytest
+
+from repro.experiments import dataset, format_table1, run_table1
+from repro.synopsis import TwigXSketch
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def table1(experiment_config):
+    rows = run_table1(experiment_config)
+    record_report("table1", format_table1(rows))
+    return rows
+
+
+def test_table1_shape(table1):
+    """All three data sets present with sane magnitudes."""
+    names = [row.name for row in table1]
+    assert names == ["XMark", "IMDB", "SProt"]
+    for row in table1:
+        assert row.element_count > 0
+        assert row.text_size_mb > 0
+        # coarsest synopsis is a tiny fraction of the document text
+        assert row.coarsest_kb < row.text_size_mb * 1024 / 20
+
+
+def test_benchmark_coarsest_construction(benchmark, table1, experiment_config):
+    """Latency of building the coarsest synopsis for IMDB."""
+    tree = dataset("imdb", experiment_config)
+    sketch = benchmark(TwigXSketch.coarsest, tree)
+    assert sketch.graph.node_count == len(tree.tags)

@@ -1,0 +1,43 @@
+"""E2 — Table 2: workload characteristics.
+
+Regenerates the average result cardinality and internal fanout of the
+P / P+V workloads, and benchmarks the exact evaluator (the component that
+produces every true count in the study).
+"""
+
+import pytest
+
+from repro.experiments import dataset, format_table2, run_table2, workload
+from repro.query import count_bindings
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def table2(experiment_config):
+    rows = run_table2(experiment_config)
+    record_report("table2", format_table2(rows))
+    return rows
+
+
+def test_table2_shape(table2):
+    """Workloads exist for all data sets; fanouts near the paper's ~1.5-2."""
+    assert len(table2) == 5  # XMark P/P+V, IMDB P/P+V, SProt P
+    for row in table2:
+        assert row.average_result > 0
+        assert 1.2 <= row.average_fanout <= 2.5
+
+
+def test_pv_results_smaller_than_p(table2):
+    """Value predicates shrink result sizes (paper: 2,436→1,423 etc.)."""
+    by_key = {(row.name, row.kind): row.average_result for row in table2}
+    assert by_key[("XMark", "P+V")] < by_key[("XMark", "P")]
+    assert by_key[("IMDB", "P+V")] < by_key[("IMDB", "P")]
+
+
+def test_benchmark_exact_evaluation(benchmark, table2, experiment_config):
+    """Latency of one exact twig evaluation (ground-truth oracle)."""
+    tree = dataset("imdb", experiment_config)
+    entry = workload("imdb", "P", experiment_config).queries[0]
+    result = benchmark(count_bindings, entry.query, tree)
+    assert result == entry.true_count

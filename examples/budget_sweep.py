@@ -1,0 +1,61 @@
+"""Accuracy-for-space: trace XBUILD's error curve on correlated data.
+
+Reproduces the Figure 9(a) methodology on a single data set at example
+scale: generate the IMDB-substitute corpus, generate a positive twig
+workload with branching predicates, then watch the average relative
+error fall as XBUILD grows the synopsis — printing which refinement
+operations the marginal-gain criterion picked along the way.
+
+Run:  python examples/budget_sweep.py
+"""
+
+from collections import Counter
+
+from repro.build import XBuild
+from repro.datasets import generate_imdb
+from repro.estimation import TwigEstimator
+from repro.synopsis import TwigXSketch
+from repro.workload import WorkloadGenerator, WorkloadSpec, average_relative_error
+
+
+def workload_error(sketch, workload) -> float:
+    estimator = TwigEstimator(sketch)
+    estimates = [estimator.estimate(entry.query) for entry in workload.queries]
+    return average_relative_error(estimates, workload.true_counts())
+
+
+def main() -> None:
+    tree = generate_imdb(10_000, seed=2)
+    workload = WorkloadGenerator(tree, WorkloadSpec(seed=31)).positive_workload(60)
+    print(
+        f"document: {tree.element_count} elements; workload: "
+        f"{len(workload.queries)} positive twigs "
+        f"(avg result {workload.average_result():,.0f})"
+    )
+
+    coarsest = TwigXSketch.coarsest(tree)
+    base = coarsest.size_bytes()
+    print(f"\n{'size (KB)':>10}  {'error (%)':>10}")
+    print(f"{coarsest.size_kb():>10.1f}  {100 * workload_error(coarsest, workload):>10.1f}")
+
+    snapshots = []
+    thresholds = [base + step for step in (1024, 2048, 4096, 8192)]
+
+    def on_step(sketch):
+        while thresholds and sketch.size_bytes() >= thresholds[0]:
+            snapshots.append(sketch.copy())
+            thresholds.pop(0)
+
+    result = XBuild(tree, base + 8192, seed=3, on_step=on_step).run()
+    for sketch in snapshots:
+        error = workload_error(sketch, workload)
+        print(f"{sketch.size_kb():>10.1f}  {100 * error:>10.1f}")
+
+    kinds = Counter(step.description.split()[0] for step in result.steps)
+    print("\nrefinements applied by marginal gain:")
+    for kind, count in kinds.most_common():
+        print(f"  {kind:<14} x{count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Cardinality estimation inside a toy query optimizer.
+
+The scenario from the paper's introduction: an XQuery processor must pick
+a join order for
+
+    for t0 in //movie[/type = X], t1 in t0/actor, t2 in t0/producer
+
+and the right choice depends on how many binding tuples each genre X
+produces — Action movies carry large casts, Documentaries tiny ones.
+This example builds one Twig XSKETCH over a movie corpus and shows both
+sides of the trade: the dominant genres are estimated within tens of
+percent (XBUILD's value-splits isolate them), while the rare tail stays
+coarse because the sanity-bounded average-error objective — the paper's
+own metric — deliberately discounts low-count queries.
+
+Run:  python examples/movie_optimizer.py
+"""
+
+from repro.build import xbuild
+from repro.datasets import generate_imdb
+from repro.doc import text_size_bytes
+from repro.estimation import TwigEstimator
+from repro.query import count_bindings, parse_for_clause
+
+GENRES = ["Action", "Drama", "Comedy", "Documentary", "Noir"]
+
+
+def genre_query(genre: str):
+    return parse_for_clause(
+        f"""
+        for t0 in movie[/type = "{genre}"],
+            t1 in t0/actor,
+            t2 in t0/producer
+        """
+    )
+
+
+def main() -> None:
+    tree = generate_imdb(15_000, seed=4)
+    document_bytes = text_size_bytes(tree)
+
+    sketch = xbuild(
+        tree,
+        budget_bytes=8 * 1024,
+        seed=11,
+        sample_value_probability=0.4,  # tune construction for value twigs
+    )
+    estimator = TwigEstimator(sketch)
+    print(
+        f"document: {tree.element_count} elements "
+        f"({document_bytes / 1024:.0f} KB of XML text); "
+        f"synopsis: {sketch.size_kb():.1f} KB "
+        f"({100 * sketch.size_bytes() / document_bytes:.1f}% of the text)"
+    )
+
+    print(f"\n{'genre':>12}  {'true tuples':>12}  {'estimate':>12}  {'ratio':>6}")
+    rows = []
+    for genre in GENRES:
+        query = genre_query(genre)
+        truth = count_bindings(query, tree)
+        estimate = estimator.estimate(query)
+        rows.append((genre, truth, estimate))
+        ratio = estimate / truth if truth else float("inf")
+        print(f"{genre:>12}  {truth:>12,}  {estimate:>12,.0f}  {ratio:>6.2f}")
+
+    true_order = [g for g, t, _ in sorted(rows, key=lambda r: -r[1])]
+    est_order = [g for g, _, e in sorted(rows, key=lambda r: -r[2])]
+    print(f"\ntrue cardinality order:      {' > '.join(true_order)}")
+    print(f"estimated cardinality order: {' > '.join(est_order)}")
+    top = 3
+    verdict = (
+        "correct"
+        if true_order == est_order
+        else f"top-{top} correct"
+        if true_order[:top] == est_order[:top]
+        else "partially correct"
+    )
+    print(f"optimizer ranking from the synopsis alone: {verdict}")
+    print(
+        "(the rare-genre tail stays coarse: the sanity-bounded error "
+        "metric that drives XBUILD discounts low-count queries)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: summarize a document, estimate a twig, compare to truth.
+
+Walks the library's core loop in five steps:
+
+1. parse an XML document into the data-tree model;
+2. write a twig query (as an XQuery-style ``for`` clause);
+3. evaluate it exactly (the ground truth an optimizer cannot afford);
+4. build a Twig XSKETCH with XBUILD under a small byte budget;
+5. estimate the selectivity from the synopsis alone.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.build import xbuild
+from repro.doc import parse_string
+from repro.estimation import TwigEstimator
+from repro.query import count_bindings, parse_for_clause
+from repro.synopsis import TwigXSketch
+
+DOCUMENT = """
+<bib>
+  <author><name>Serge</name>
+    <paper><title>Regular Path Queries</title><year>1997</year>
+           <keyword>paths</keyword></paper>
+    <paper><title>Data on the Web</title><year>2000</year>
+           <keyword>web</keyword><keyword>semistructured</keyword></paper>
+    <book><title>Foundations of Databases</title></book>
+  </author>
+  <author><name>Mary</name>
+    <paper><title>Twig Joins</title><year>2002</year>
+           <keyword>twigs</keyword></paper>
+  </author>
+  <author><name>Dan</name>
+    <paper><title>Holistic Joins</title><year>2002</year>
+           <keyword>twigs</keyword><keyword>joins</keyword></paper>
+  </author>
+</bib>
+"""
+
+
+def main() -> None:
+    # 1. document
+    tree = parse_string(DOCUMENT, name="quickstart")
+    print(f"document: {tree.element_count} elements, tags: {', '.join(tree.tags)}")
+
+    # 2. a twig query: authors with a recent paper, paired with the
+    #    paper's keywords (the paper's Example 2.1 shape)
+    query = parse_for_clause(
+        """
+        for a in author,
+            n in a/name,
+            p in a/paper[year > 2000],
+            k in p/keyword
+        """
+    )
+    print("\nquery:")
+    print(query.text())
+
+    # 3. ground truth
+    truth = count_bindings(query, tree)
+    print(f"\nexact selectivity (binding tuples): {truth}")
+
+    # 4. the coarsest synopsis vs an XBUILD-refined one
+    coarsest = TwigXSketch.coarsest(tree)
+    refined = xbuild(tree, budget_bytes=coarsest.size_bytes() + 512, seed=7)
+    print(f"\ncoarsest synopsis: {coarsest.size_bytes()} bytes")
+    print(f"refined synopsis:  {refined.size_bytes()} bytes")
+
+    # 5. estimates
+    for label, sketch in [("coarsest", coarsest), ("refined", refined)]:
+        estimate = TwigEstimator(sketch).estimate(query)
+        print(f"estimate ({label}): {estimate:.2f}  (truth {truth})")
+
+
+if __name__ == "__main__":
+    main()

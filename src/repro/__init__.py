@@ -1,0 +1,8 @@
+"""Twig XSKETCH: selectivity estimation for XML twig queries.
+
+Reproduction of Polyzotis, Garofalakis, Ioannidis, "Selectivity Estimation
+for XML Twigs", ICDE 2004. See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the reproduced tables/figures.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Baseline summaries the paper compares against.
+
+* :class:`CorrelatedSuffixTree`, :class:`CSTEstimator` — the pruned
+  suffix-trie baseline of Chen et al. [3] used in Figure 9(c);
+* :class:`PathTrie` — the underlying suffix trie substrate.
+"""
+
+from .cst import CorrelatedSuffixTree, CSTEstimator
+from .trie import TRIE_NODE_BYTES, PathTrie
+
+__all__ = [
+    "CSTEstimator",
+    "CorrelatedSuffixTree",
+    "PathTrie",
+    "TRIE_NODE_BYTES",
+]

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats FILE.xml`` — document characteristics (Table 1 columns);
+* ``build FILE.xml --budget KB [--out sketch-info]`` — run XBUILD and
+  report the constructed synopsis (node/edge/histogram inventory);
+* ``estimate FILE.xml --query 'for ...' --budget KB [--exact]`` — build a
+  synopsis and estimate the twig query's selectivity, optionally
+  comparing against exact evaluation;
+* ``workload FILE.xml [--queries N] [--values]`` — generate a positive
+  workload and print its Table 2 characteristics;
+* ``demo [--dataset imdb|xmark|sprot] [--scale N]`` — run the estimate
+  flow on a built-in synthetic data set (no input file needed).
+
+The CLI is a thin veneer over the public API; every command maps to a few
+library calls shown in README.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from .build import XBuild
+from .datasets import generate_imdb, generate_sprot, generate_xmark
+from .doc import document_stats, parse_file
+from .errors import ReproError
+from .estimation import TwigEstimator
+from .query import count_bindings, parse_for_clause, parse_path, twig
+from .synopsis import TwigXSketch, load_sketch, save_sketch
+from .workload import WorkloadGenerator, WorkloadSpec
+
+_DATASETS = {
+    "imdb": generate_imdb,
+    "xmark": generate_xmark,
+    "sprot": generate_sprot,
+}
+
+
+def _load_tree(args):
+    if getattr(args, "dataset", None):
+        return _DATASETS[args.dataset](args.scale, seed=1)
+    return parse_file(args.file)
+
+
+def _parse_query(text: str):
+    stripped = text.strip()
+    if stripped.lower().startswith("for ") or " in " in stripped:
+        return parse_for_clause(stripped)
+    return twig(parse_path(stripped))
+
+
+def cmd_stats(args) -> int:
+    tree = _load_tree(args)
+    stats = document_stats(tree)
+    coarsest = TwigXSketch.coarsest(tree)
+    print(f"name:             {stats.name or args.file}")
+    print(f"elements:         {stats.element_count:,}")
+    print(f"distinct tags:    {stats.distinct_tags}")
+    print(f"max depth:        {stats.max_depth}")
+    print(f"avg fanout:       {stats.avg_fanout:.2f}")
+    print(f"text size:        {stats.text_size_mb:.2f} MB")
+    print(f"coarsest synopsis: {coarsest.size_kb():.2f} KB")
+    return 0
+
+
+def cmd_build(args) -> int:
+    tree = _load_tree(args)
+    result = XBuild(
+        tree,
+        budget_bytes=int(args.budget * 1024),
+        seed=args.seed,
+        sample_value_probability=0.3 if args.values else 0.0,
+    ).run()
+    sketch = result.sketch
+    print(f"built {sketch.size_kb():.1f} KB synopsis "
+          f"({len(result.steps)} refinements)")
+    print(f"nodes: {sketch.graph.node_count}, edges: {sketch.graph.edge_count}")
+    histograms = sum(len(h) for h in sketch.edge_stats.values())
+    print(f"edge histograms: {histograms}, "
+          f"value histograms: {len(sketch.value_stats)}")
+    kinds = Counter(step.description.split()[0] for step in result.steps)
+    for kind, count in kinds.most_common():
+        print(f"  {kind:<14} x{count}")
+    if args.out:
+        save_sketch(sketch, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    tree = _load_tree(args)
+    query = _parse_query(args.query)
+    if getattr(args, "synopsis", None):
+        sketch = load_sketch(args.synopsis)
+    else:
+        sketch = XBuild(
+            tree,
+            budget_bytes=int(args.budget * 1024),
+            seed=args.seed,
+            sample_value_probability=(
+                0.3 if query.has_value_predicates() else 0.0
+            ),
+        ).run().sketch
+    report = TwigEstimator(sketch).report(query)
+    print(f"synopsis: {sketch.size_kb():.1f} KB; "
+          f"embeddings: {report.embeddings}"
+          + (" (truncated)" if report.truncated else ""))
+    print(f"estimated selectivity: {report.selectivity:,.1f}")
+    if args.exact:
+        truth = count_bindings(query, tree)
+        print(f"exact selectivity:     {truth:,}")
+        if truth:
+            print(f"relative error:        "
+                  f"{abs(report.selectivity - truth) / truth * 100:.1f}%")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    tree = _load_tree(args)
+    spec = WorkloadSpec(seed=args.seed, value_predicates=args.values)
+    load = WorkloadGenerator(tree, spec).positive_workload(args.queries)
+    print(f"workload: {len(load.queries)} positive twig queries "
+          f"({'P+V' if args.values else 'P'})")
+    print(f"avg result: {load.average_result():,.0f}")
+    print(f"avg fanout: {load.average_fanout():.2f}")
+    if args.show:
+        for entry in load.queries[: args.show]:
+            flat = " | ".join(
+                line.strip() for line in entry.query.text().splitlines()
+            )
+            print(f"  [{entry.true_count:>8,}] {flat}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Twig XSKETCH: selectivity estimation for XML twigs",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_source(sub, with_file: bool = True):
+        if with_file:
+            sub.add_argument("file", help="XML document to load")
+        sub.add_argument("--seed", type=int, default=17)
+
+    stats = commands.add_parser("stats", help="document characteristics")
+    add_source(stats)
+    stats.set_defaults(handler=cmd_stats)
+
+    build = commands.add_parser("build", help="run XBUILD")
+    add_source(build)
+    build.add_argument("--budget", type=float, default=16.0, help="KB")
+    build.add_argument("--values", action="store_true",
+                       help="tune for value-predicated workloads")
+    build.add_argument("--out", help="save the synopsis as JSON")
+    build.set_defaults(handler=cmd_build)
+
+    estimate = commands.add_parser("estimate", help="estimate a twig query")
+    add_source(estimate)
+    estimate.add_argument("--query", required=True,
+                          help="for-clause or path expression")
+    estimate.add_argument("--budget", type=float, default=16.0, help="KB")
+    estimate.add_argument("--synopsis",
+                          help="estimate over a saved synopsis instead of "
+                               "building one")
+    estimate.add_argument("--exact", action="store_true",
+                          help="also evaluate exactly and report the error")
+    estimate.set_defaults(handler=cmd_estimate)
+
+    workload = commands.add_parser("workload", help="generate a workload")
+    add_source(workload)
+    workload.add_argument("--queries", type=int, default=20)
+    workload.add_argument("--values", action="store_true")
+    workload.add_argument("--show", type=int, default=0,
+                          help="print the first N queries")
+    workload.set_defaults(handler=cmd_workload)
+
+    demo = commands.add_parser("demo", help="estimate over a built-in data set")
+    demo.add_argument("--dataset", choices=sorted(_DATASETS), default="imdb")
+    demo.add_argument("--scale", type=int, default=8000)
+    demo.add_argument("--seed", type=int, default=17)
+    demo.add_argument(
+        "--query",
+        default='for m in movie[/type = "Action"], a in m/actor, p in m/producer',
+    )
+    demo.add_argument("--budget", type=float, default=8.0, help="KB")
+    demo.add_argument("--exact", action="store_true", default=True)
+    demo.set_defaults(handler=cmd_estimate, file=None)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Data sets: synthetic substitutes for the paper's three corpora plus the
+hand-built documents of the paper's figures.
+
+* :func:`generate_xmark` — uniform auction-site data (regular structure);
+* :func:`generate_imdb` — movie data with strong joint-count correlations;
+* :func:`generate_sprot` — protein annotations with mild skew;
+* :func:`figure1_document`, :func:`figure4_documents`,
+  :func:`movie_document` — the paper's running examples.
+"""
+
+from .imdb import generate_imdb
+from .paperfig import figure1_document, figure4_documents, movie_document
+from .sprot import generate_sprot
+from .xmark import generate_xmark
+
+__all__ = [
+    "figure1_document",
+    "figure4_documents",
+    "generate_imdb",
+    "generate_sprot",
+    "generate_xmark",
+    "movie_document",
+]

@@ -1,0 +1,83 @@
+"""Shared machinery for the synthetic data-set generators.
+
+The three data sets of the paper's evaluation (XMark, IMDB, SwissProt) are
+reproduced as seeded generators (see DESIGN.md §3 for the substitution
+rationale).  This module provides the small common vocabulary they use:
+an element-budget tracker and a handful of seeded sampling helpers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..doc.node import DocumentNode
+
+
+class ElementBudget:
+    """Tracks how many elements a generator may still create.
+
+    Generators consult :meth:`want` before emitting optional repeating
+    structure, so documents land near (never wildly above) the requested
+    element count while remaining structurally valid.
+    """
+
+    def __init__(self, target: int):
+        if target < 10:
+            raise ValueError("element budget must be at least 10")
+        self.target = target
+        self.used = 0
+
+    def charge(self, amount: int = 1) -> None:
+        """Record that ``amount`` elements were created."""
+        self.used += amount
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the target is reached."""
+        return self.used >= self.target
+
+    def want(self, amount: int = 1) -> bool:
+        """True when ``amount`` more elements still fit the budget."""
+        return self.used + amount <= self.target
+
+
+def child(parent: DocumentNode, budget: ElementBudget, tag: str, value=None):
+    """Create a budget-charged child element."""
+    budget.charge()
+    return parent.new_child(tag, value)
+
+
+def weighted_choice(rng: random.Random, pairs: Sequence[tuple[str, float]]) -> str:
+    """Pick a key with probability proportional to its weight."""
+    total = sum(weight for _, weight in pairs)
+    roll = rng.random() * total
+    for key, weight in pairs:
+        roll -= weight
+        if roll <= 0:
+            return key
+    return pairs[-1][0]
+
+
+def person_name(rng: random.Random) -> str:
+    """A synthetic person name (deterministic under the rng's seed)."""
+    first = rng.choice(
+        ["Ada", "Alan", "Edsger", "Grace", "Barbara", "Donald", "John", "Tove",
+         "Leslie", "Edgar", "Jim", "Michael", "Hector", "Moshe", "Jennifer"]
+    )
+    last = rng.choice(
+        ["Codd", "Gray", "Stonebraker", "Ullman", "Widom", "Lamport",
+         "Hopper", "Liskov", "Knuth", "Dijkstra", "Bayer", "Vardi",
+         "Garcia-Molina", "Naughton", "DeWitt"]
+    )
+    return f"{first} {last}"
+
+
+def words(rng: random.Random, count: int) -> str:
+    """A synthetic text snippet of ``count`` words."""
+    lexicon = [
+        "auction", "query", "index", "stream", "twig", "join", "path",
+        "element", "schema", "node", "graph", "histogram", "estimate",
+        "protein", "sequence", "movie", "scene", "market", "bid", "price",
+    ]
+    return " ".join(rng.choice(lexicon) for _ in range(count))

@@ -1,0 +1,122 @@
+"""Hand-built documents reproducing the paper's running examples.
+
+* :func:`figure1_document` — the bibliography tree of Figure 1, consistent
+  with Example 2.1 (the twig query there yields exactly 3 binding tuples),
+  the Figure 3 synopsis (|A| = 3, |P| = 4, A→P backward- and forward-
+  stable), and — up to the swap of p4/p5 noted below — the edge-distribution
+  table of Example 3.1.
+* :func:`figure4_documents` — the two documents of Figure 4 that share one
+  zero-error single-path XSKETCH yet have twig selectivities 2000 vs 10100.
+
+Note on Example 3.1: the conference text's Example 2.1 lists two binding
+tuples pairing paper p5 with keywords k18 *and* k19 (so p5 has two
+keywords), while the Example 3.1 table assigns C_K = 1 to p5 and C_K = 2 to
+p4.  The two examples are mutually inconsistent as printed; we follow
+Example 2.1 and swap the roles of p4/p5 in the distribution table, which
+leaves every aggregate in the paper (fractions 0.25/0.25/0.50, the
+conditional distribution F_P(k, y | p), and the worked estimate 10/3)
+unchanged.
+"""
+
+from __future__ import annotations
+
+from ..doc.node import DocumentNode
+from ..doc.tree import DocumentTree
+
+
+def figure1_document() -> DocumentTree:
+    """The bibliography document of Figure 1.
+
+    Structure (names follow the paper: first letter of the tag plus id):
+
+    * author a1: name n6, paper p4 (year 1999, 1 keyword), paper p5
+      (year 2002, 2 keywords: k18 k19, title t17), book b10, book b11;
+    * author a2: name n7, paper p8 (year 2003, title t21, keyword k22);
+    * author a3: name n12, paper p9 (year 1998, 1 keyword).
+
+    Every paper has a title, a year, and one or more keywords; every book
+    has a title; |A| = 3, |P| = 4, |B| = 2.
+    """
+    bib = DocumentNode("bib")
+
+    a1 = bib.new_child("author")
+    a1.new_child("name", "Ullman")
+    p4 = a1.new_child("paper")
+    p4.new_child("title", "Query Containment")
+    p4.new_child("year", 1999)
+    p4.new_child("keyword", "containment")
+    p5 = a1.new_child("paper")
+    p5.new_child("title", "Twig Joins")  # t17
+    p5.new_child("keyword", "twig")  # k18
+    p5.new_child("keyword", "join")  # k19
+    p5.new_child("year", 2002)
+    b10 = a1.new_child("book")
+    b10.new_child("title", "Database Systems")
+    b11 = a1.new_child("book")
+    b11.new_child("title", "Compilers")
+
+    a2 = bib.new_child("author")
+    a2.new_child("name", "Widom")  # n7
+    p8 = a2.new_child("paper")
+    p8.new_child("title", "Streams")  # t21
+    p8.new_child("keyword", "stream")  # k22
+    p8.new_child("year", 2003)
+
+    a3 = bib.new_child("author")
+    a3.new_child("name", "Codd")
+    p9 = a3.new_child("paper")
+    p9.new_child("title", "Relational Model")
+    p9.new_child("year", 1998)
+    p9.new_child("keyword", "relations")
+
+    return DocumentTree(bib, name="figure1")
+
+
+def _figure4_doc(counts: list[tuple[int, int]], name: str) -> DocumentTree:
+    """Root r with one ``a`` child per (b_count, c_count) pair."""
+    root = DocumentNode("r")
+    for b_count, c_count in counts:
+        a = root.new_child("a")
+        for _ in range(b_count):
+            a.new_child("b")
+        for _ in range(c_count):
+            a.new_child("c")
+    return DocumentTree(root, name=name)
+
+
+def figure4_documents() -> tuple[DocumentTree, DocumentTree]:
+    """The two documents of Figure 4(a) and 4(b).
+
+    Both have |A| = 2, |B| = 110, |C| = 110 and identical (zero-error)
+    single-path XSKETCHes; the twig pairing b/c siblings yields 2000
+    binding tuples on the first document and 10100 on the second.
+    """
+    doc_a = _figure4_doc([(10, 100), (100, 10)], name="figure4a")
+    doc_b = _figure4_doc([(100, 100), (10, 10)], name="figure4b")
+    return doc_a, doc_b
+
+
+def movie_document() -> DocumentTree:
+    """A small movie document in the shape of the paper's introduction.
+
+    Used by examples and tests exercising the ``//movie[/type=X]`` query of
+    Section 1: action movies carry many actors/producers, documentaries few,
+    so twig selectivity correlates strongly with the type value.
+    """
+    root = DocumentNode("movies")
+    specs = [
+        ("Action", 10, 3),
+        ("Action", 8, 2),
+        ("Documentary", 2, 1),
+        ("Documentary", 1, 1),
+        ("Drama", 5, 2),
+    ]
+    for index, (genre, actors, producers) in enumerate(specs):
+        movie = root.new_child("movie")
+        movie.new_child("type", genre)
+        movie.new_child("title", f"Movie {index}")
+        for actor_index in range(actors):
+            movie.new_child("actor", f"Actor {index}.{actor_index}")
+        for producer_index in range(producers):
+            movie.new_child("producer", f"Producer {index}.{producer_index}")
+    return DocumentTree(root, name="movies-small")

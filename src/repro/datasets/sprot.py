@@ -1,0 +1,84 @@
+"""SwissProt substitute: a synthetic protein-annotation document.
+
+The paper's SwissProt data set contains protein entries with references,
+features, and keywords.  Its relevant property for Figure 9(c) is that it
+is *more regular* than IMDB — CSTs and XSKETCHes land close together at
+50 KB on it — while still carrying mild skew.  The generator produces
+Entry records whose Ref/Feature counts are mildly correlated with the
+organism class (two populations instead of IMDB's five heavily divergent
+ones).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..doc.node import DocumentNode
+from ..doc.tree import DocumentTree
+from .generator import ElementBudget, child, person_name, weighted_choice, words
+
+#: organism class -> (weight, ref range, feature range, keyword range)
+CLASSES = {
+    "eukaryota": (0.6, (1, 4), (2, 8), (1, 5)),
+    "bacteria": (0.4, (1, 3), (1, 4), (1, 3)),
+}
+
+
+def _entry(root: DocumentNode, budget: ElementBudget, rng: random.Random, eid: int):
+    organism_class = weighted_choice(
+        rng, [(name, spec[0]) for name, spec in CLASSES.items()]
+    )
+    __, refs, features, keywords = CLASSES[organism_class]
+
+    entry = child(root, budget, "Entry")
+    child(entry, budget, "@id", f"P{eid:05d}")
+    child(entry, budget, "AC", f"Q{rng.randrange(99999):05d}")
+    child(entry, budget, "Mod", rng.randint(1990, 2003))
+    protein = child(entry, budget, "Protein")
+    child(protein, budget, "Name", words(rng, 2))
+    organism = child(entry, budget, "Org")
+    child(organism, budget, "Class", organism_class)
+
+    if rng.random() < 0.5 and budget.want(2):
+        gene = child(entry, budget, "Gene")
+        child(gene, budget, "Name", words(rng, 1).upper())
+
+    for _ in range(rng.randint(*refs)):
+        if budget.want(5):
+            reference = child(entry, budget, "Ref")
+            child(reference, budget, "Author", person_name(rng))
+            if rng.random() < 0.6 and budget.want():
+                child(reference, budget, "Author", person_name(rng))
+            child(reference, budget, "Title", words(rng, 4))
+            child(reference, budget, "Cite", words(rng, 2))
+
+    for _ in range(rng.randint(*features)):
+        if budget.want(4):
+            feature = child(entry, budget, "Features")
+            child(feature, budget, "Type", rng.choice(
+                ["DOMAIN", "CHAIN", "SITE", "HELIX", "STRAND"]
+            ))
+            child(feature, budget, "From", rng.randint(1, 400))
+            child(feature, budget, "To", rng.randint(400, 900))
+
+    for _ in range(rng.randint(*keywords)):
+        if budget.want():
+            child(entry, budget, "Keyword", words(rng, 1))
+
+
+def generate_sprot(elements: int = 20_000, seed: int = 3) -> DocumentTree:
+    """Generate the SwissProt-substitute protein document.
+
+    Args:
+        elements: approximate target element count.
+        seed: RNG seed (same seed → identical document).
+    """
+    rng = random.Random(seed)
+    budget = ElementBudget(elements)
+    root = DocumentNode("sptr")
+    budget.charge()
+    entry_id = 0
+    while not budget.exhausted:
+        _entry(root, budget, rng, entry_id)
+        entry_id += 1
+    return DocumentTree(root, name="sprot")

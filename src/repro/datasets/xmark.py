@@ -1,0 +1,224 @@
+"""XMark substitute: a synthetic auction-site document.
+
+The paper's XMark data set is produced by the public XMark benchmark
+generator (an auction site with regions/items, people, and open/closed
+auctions).  This generator reproduces that DTD's skeleton — including its
+two *recursive* parts, ``parlist/listitem`` descriptions and nested text
+markup (``emph``/``keyword``/``bold``) — with **uniform, independent**
+count distributions.  The two properties the paper leans on are therefore
+preserved:
+
+* counts are uniform and independent, so even the coarsest XSKETCH is
+  accurate on it ("generated from uniform distributions and ... more
+  regular in structure than IMDB");
+* the recursive structure yields many distinct label paths, so a suffix
+  trie the size of a small synopsis must prune aggressively — the
+  mechanism behind CST's disadvantage in Figure 9(c).
+
+``generate_xmark(elements, seed)`` is deterministic for a fixed seed and
+lands within a few percent of the requested element count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..doc.node import DocumentNode
+from ..doc.tree import DocumentTree
+from .generator import ElementBudget, child, person_name, words
+
+REGIONS = ("africa", "asia", "europe", "namerica", "samerica")
+CATEGORY_COUNT = 12
+MARKUP_TAGS = ("emph", "keyword", "bold")
+
+
+def _markup(
+    parent: DocumentNode,
+    budget: ElementBudget,
+    rng: random.Random,
+    depth: int,
+) -> None:
+    """Nested text markup, the DTD's second recursion: emph/keyword/bold
+    elements that may contain each other."""
+    tag = rng.choice(MARKUP_TAGS)
+    node = child(parent, budget, tag, words(rng, 2))
+    if depth < 3 and rng.random() < 0.4 and budget.want(2):
+        node.value = None
+        child(node, budget, "text", words(rng, 2))
+        _markup(node, budget, rng, depth + 1)
+
+
+def _text_block(parent: DocumentNode, budget: ElementBudget, rng: random.Random):
+    text = child(parent, budget, "text", words(rng, 5))
+    if rng.random() < 0.5 and budget.want(2):
+        text.value = None
+        _markup(text, budget, rng, 0)
+
+
+def _parlist(
+    parent: DocumentNode,
+    budget: ElementBudget,
+    rng: random.Random,
+    depth: int,
+):
+    """The DTD's first recursion: parlist → listitem* → (text | parlist)."""
+    parlist = child(parent, budget, "parlist")
+    for _ in range(rng.randint(1, 3)):
+        if not budget.want(2):
+            return
+        listitem = child(parlist, budget, "listitem")
+        if depth < 3 and rng.random() < 0.35 and budget.want(3):
+            _parlist(listitem, budget, rng, depth + 1)
+        else:
+            _text_block(listitem, budget, rng)
+
+
+def _item(region: DocumentNode, budget: ElementBudget, rng: random.Random, item_id: int):
+    item = child(region, budget, "item")
+    child(item, budget, "@id", item_id)
+    child(item, budget, "name", words(rng, 2))
+    for _ in range(rng.randint(1, 2)):
+        if budget.want():
+            child(item, budget, "incategory", rng.randrange(CATEGORY_COUNT))
+    child(item, budget, "quantity", rng.randint(1, 10))
+    child(item, budget, "location", words(rng, 1))
+    if rng.random() < 0.4 and budget.want():
+        child(item, budget, "payment", rng.choice(
+            ["cash", "credit", "check", "wire"]
+        ))
+    if rng.random() < 0.3 and budget.want():
+        child(item, budget, "shipping", words(rng, 2))
+    if rng.random() < 0.2 and budget.want():
+        child(item, budget, "homepage", f"http://items.example/{item_id}")
+    description = child(item, budget, "description")
+    _parlist(description, budget, rng, 0)
+    if rng.random() < 0.5 and budget.want(3):
+        mailbox = child(item, budget, "mailbox")
+        for _ in range(rng.randint(1, 2)):
+            if budget.want(4):
+                mail = child(mailbox, budget, "mail")
+                child(mail, budget, "from", person_name(rng))
+                child(mail, budget, "date", rng.randint(1998, 2003))
+                if rng.random() < 0.4 and budget.want(2):
+                    _text_block(mail, budget, rng)
+
+
+def _person(people: DocumentNode, budget: ElementBudget, rng: random.Random, pid: int):
+    person = child(people, budget, "person")
+    child(person, budget, "@id", pid)
+    child(person, budget, "name", person_name(rng))
+    child(person, budget, "emailaddress", f"user{pid}@example.com")
+    if rng.random() < 0.3 and budget.want():
+        child(person, budget, "phone", f"+1-555-{rng.randrange(10000):04d}")
+    if rng.random() < 0.6 and budget.want(4):
+        address = child(person, budget, "address")
+        child(address, budget, "street", words(rng, 2))
+        child(address, budget, "city", words(rng, 1))
+        child(address, budget, "country", rng.choice(REGIONS))
+    if rng.random() < 0.25 and budget.want():
+        child(person, budget, "homepage", f"http://people.example/{pid}")
+    if rng.random() < 0.25 and budget.want():
+        child(person, budget, "creditcard", f"{rng.randrange(10**4):04d}")
+    if rng.random() < 0.5 and budget.want(5):
+        profile = child(person, budget, "profile")
+        child(profile, budget, "income", rng.randint(20_000, 150_000))
+        if rng.random() < 0.5 and budget.want():
+            child(profile, budget, "education", rng.choice(
+                ["High School", "College", "Graduate School"]
+            ))
+        if rng.random() < 0.5 and budget.want():
+            child(profile, budget, "gender", rng.choice(["male", "female"]))
+        if rng.random() < 0.6 and budget.want():
+            child(profile, budget, "age", rng.randint(18, 80))
+        for _ in range(rng.randint(0, 3)):
+            if budget.want():
+                child(profile, budget, "interest", rng.randrange(CATEGORY_COUNT))
+    if rng.random() < 0.4 and budget.want(2):
+        watches = child(person, budget, "watches")
+        for _ in range(rng.randint(1, 3)):
+            if budget.want():
+                child(watches, budget, "watch", rng.randrange(10_000))
+
+
+def _open_auction(
+    auctions: DocumentNode, budget: ElementBudget, rng: random.Random
+):
+    auction = child(auctions, budget, "open_auction")
+    child(auction, budget, "initial", round(rng.uniform(1, 100), 2))
+    if rng.random() < 0.4 and budget.want():
+        child(auction, budget, "reserve", round(rng.uniform(50, 300), 2))
+    child(auction, budget, "current", round(rng.uniform(1, 500), 2))
+    child(auction, budget, "itemref", rng.randrange(10_000))
+    child(auction, budget, "seller", rng.randrange(10_000))
+    if rng.random() < 0.3 and budget.want():
+        child(auction, budget, "privacy", rng.choice(["Yes", "No"]))
+    if budget.want(3):
+        interval = child(auction, budget, "interval")
+        child(interval, budget, "start", rng.randint(1998, 2001))
+        child(interval, budget, "end", rng.randint(2001, 2003))
+    for _ in range(rng.randint(0, 4)):
+        if budget.want(3):
+            bidder = child(auction, budget, "bidder")
+            child(bidder, budget, "date", rng.randint(1998, 2003))
+            child(bidder, budget, "increase", round(rng.uniform(1, 25), 2))
+    if rng.random() < 0.4 and budget.want(3):
+        annotation = child(auction, budget, "annotation")
+        child(annotation, budget, "author", person_name(rng))
+        if budget.want(3):
+            inner = child(annotation, budget, "description")
+            _text_block(inner, budget, rng)
+
+
+def _closed_auction(
+    auctions: DocumentNode, budget: ElementBudget, rng: random.Random
+):
+    auction = child(auctions, budget, "closed_auction")
+    child(auction, budget, "seller", rng.randrange(10_000))
+    child(auction, budget, "buyer", rng.randrange(10_000))
+    child(auction, budget, "itemref", rng.randrange(10_000))
+    child(auction, budget, "price", round(rng.uniform(1, 500), 2))
+    child(auction, budget, "date", rng.randint(1998, 2003))
+    if rng.random() < 0.3 and budget.want():
+        child(auction, budget, "type", rng.choice(["Regular", "Featured"]))
+    if rng.random() < 0.3 and budget.want(3):
+        annotation = child(auction, budget, "annotation")
+        child(annotation, budget, "author", person_name(rng))
+        if budget.want(3):
+            inner = child(annotation, budget, "description")
+            _text_block(inner, budget, rng)
+
+
+def generate_xmark(elements: int = 20_000, seed: int = 1) -> DocumentTree:
+    """Generate the XMark-substitute auction document.
+
+    Args:
+        elements: approximate target element count.
+        seed: RNG seed (same seed → identical document).
+    """
+    rng = random.Random(seed)
+    budget = ElementBudget(elements)
+
+    site = DocumentNode("site")
+    budget.charge()
+    regions = child(site, budget, "regions")
+    region_nodes = [child(regions, budget, region) for region in REGIONS]
+    people = child(site, budget, "people")
+    open_auctions = child(site, budget, "open_auctions")
+    closed_auctions = child(site, budget, "closed_auctions")
+
+    # Round-robin the four populations so truncation by the budget keeps
+    # the document balanced.
+    item_id = 0
+    person_id = 0
+    while not budget.exhausted:
+        _item(rng.choice(region_nodes), budget, rng, item_id)
+        item_id += 1
+        if budget.want(10):
+            _person(people, budget, rng, person_id)
+            person_id += 1
+        if budget.want(12):
+            _open_auction(open_auctions, budget, rng)
+        if budget.want(8):
+            _closed_auction(closed_auctions, budget, rng)
+
+    return DocumentTree(site, name="xmark")

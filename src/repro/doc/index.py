@@ -1,0 +1,68 @@
+"""Indexes over a document tree used by evaluators and synopsis builders.
+
+The exact twig evaluator and the synopsis construction code repeatedly need
+(1) all elements with a given tag, (2) the distinct parent→child tag pairs,
+and (3) all distinct root-to-node label paths.  :class:`DocumentIndex`
+computes these once per tree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .node import DocumentNode
+from .tree import DocumentTree
+
+
+class DocumentIndex:
+    """Precomputed lookup structures for one document tree.
+
+    Attributes:
+        tree: the indexed document.
+        tag_pairs: Counter of (parent_tag, child_tag) containment pairs,
+            weighted by the number of document edges realizing the pair.
+        label_paths: Counter of root-to-node label paths (tuples of tags),
+            weighted by the number of elements with that path.
+    """
+
+    def __init__(self, tree: DocumentTree):
+        self.tree = tree
+        tag_pairs: Counter = Counter()
+        label_paths: Counter = Counter()
+        # One pass: carry the label path down the traversal.
+        stack: list[tuple[DocumentNode, tuple[str, ...]]] = [
+            (tree.root, (tree.root.tag,))
+        ]
+        while stack:
+            node, path = stack.pop()
+            label_paths[path] += 1
+            for child in node.children:
+                tag_pairs[(node.tag, child.tag)] += 1
+                stack.append((child, path + (child.tag,)))
+        self.tag_pairs = tag_pairs
+        self.label_paths = label_paths
+
+    # ------------------------------------------------------------------
+    def elements(self, tag: str) -> list[DocumentNode]:
+        """All elements with tag ``tag`` (document order)."""
+        return self.tree.extent(tag)
+
+    def child_tags(self, tag: str) -> set[str]:
+        """Tags that appear as a child of a ``tag`` element somewhere."""
+        return {child for (parent, child) in self.tag_pairs if parent == tag}
+
+    def parent_tags(self, tag: str) -> set[str]:
+        """Tags that appear as the parent of a ``tag`` element somewhere."""
+        return {parent for (parent, child) in self.tag_pairs if child == tag}
+
+    def has_pair(self, parent_tag: str, child_tag: str) -> bool:
+        """True when some document edge goes parent_tag → child_tag."""
+        return (parent_tag, child_tag) in self.tag_pairs
+
+    def distinct_paths(self) -> list[tuple[str, ...]]:
+        """All distinct root-to-node label paths, shortest first."""
+        return sorted(self.label_paths, key=len)
+
+    def path_count(self, path: tuple[str, ...]) -> int:
+        """Number of elements whose root-to-node label path equals ``path``."""
+        return self.label_paths.get(path, 0)

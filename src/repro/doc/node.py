@@ -1,0 +1,136 @@
+"""Document nodes: the vertices of the XML data tree.
+
+Following the paper's data model (Section 2), an XML document is a tree
+``T(V, E)`` where each node corresponds to an element, attribute, or value,
+and an edge represents containment.  This module defines the single node
+class used throughout the library.
+
+Attributes are modelled as child nodes whose tag is prefixed with ``@`` so
+that the rest of the system (synopses, queries, estimation) treats elements
+and attributes uniformly, exactly as the graph-synopsis model does.  Text
+values are stored on the node itself (``value``) rather than as separate
+value vertices; this matches the paper's own simplification ("we assume that
+leaf elements contain values").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+#: Type of a leaf value carried by a node.  The paper's experiments use
+#: integer values (year ranges) and the CST comparison uses string values;
+#: both are supported.
+Value = Union[int, float, str]
+
+ATTRIBUTE_PREFIX = "@"
+
+
+class DocumentNode:
+    """One element (or attribute) of a document tree.
+
+    The node owns its list of children; parent pointers are maintained by
+    :meth:`add_child`.  Node identity is by object; ``node_id`` is a stable
+    integer assigned by the owning :class:`~repro.doc.tree.DocumentTree`
+    (``-1`` until the node is attached to a tree).
+    """
+
+    __slots__ = ("tag", "value", "parent", "children", "node_id")
+
+    def __init__(self, tag: str, value: Optional[Value] = None):
+        if not tag:
+            raise ValueError("node tag must be a non-empty string")
+        self.tag = tag
+        self.value = value
+        self.parent: Optional[DocumentNode] = None
+        self.children: list[DocumentNode] = []
+        self.node_id: int = -1
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def add_child(self, child: "DocumentNode") -> "DocumentNode":
+        """Attach ``child`` under this node and return the child.
+
+        Raises:
+            ValueError: if the child already has a parent (re-parenting is
+                not supported; detach explicitly first).
+        """
+        if child.parent is not None:
+            raise ValueError(
+                f"node <{child.tag}> already has a parent <{child.parent.tag}>"
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def new_child(self, tag: str, value: Optional[Value] = None) -> "DocumentNode":
+        """Create a node with ``tag``/``value`` and attach it as a child."""
+        return self.add_child(DocumentNode(tag, value))
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    @property
+    def is_attribute(self) -> bool:
+        """True when the node models an XML attribute (tag begins with @)."""
+        return self.tag.startswith(ATTRIBUTE_PREFIX)
+
+    @property
+    def depth(self) -> int:
+        """Number of edges from the root to this node (root depth is 0)."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["DocumentNode"]:
+        """Yield this node and all descendants, pre-order, iteratively."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            # reversed() keeps document order in the pre-order output
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["DocumentNode"]:
+        """Yield all proper descendants of this node, pre-order."""
+        it = self.iter_subtree()
+        next(it)  # skip self
+        return it
+
+    def iter_ancestors(self) -> Iterator["DocumentNode"]:
+        """Yield proper ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def children_with_tag(self, tag: str) -> list["DocumentNode"]:
+        """Return the children whose tag equals ``tag`` (document order)."""
+        return [child for child in self.children if child.tag == tag]
+
+    def child_count(self, tag: str) -> int:
+        """Number of children with tag ``tag``."""
+        return sum(1 for child in self.children if child.tag == tag)
+
+    def label_path(self) -> tuple[str, ...]:
+        """The root-to-node sequence of tags, e.g. ``('site', 'people',
+        'person')``.  Used by path indexes and the CST baseline."""
+        tags = [self.tag]
+        tags.extend(anc.tag for anc in self.iter_ancestors())
+        tags.reverse()
+        return tuple(tags)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f"={self.value!r}" if self.value is not None else ""
+        return f"<DocumentNode #{self.node_id} {self.tag}{suffix}>"

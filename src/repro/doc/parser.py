@@ -1,0 +1,87 @@
+"""Parse XML text into :class:`~repro.doc.tree.DocumentTree`.
+
+The environment has no ``lxml``; we build on the standard library's
+``xml.etree.ElementTree``, which is entirely sufficient for the data model
+of the paper (elements, attributes, text values — no namespaces needed,
+though namespaced tags are preserved verbatim).
+
+Conversion rules (mirroring :mod:`repro.doc.node`):
+
+* each XML element becomes a node with the element's tag;
+* each XML attribute ``k="v"`` becomes a child node tagged ``@k`` carrying
+  value ``v``;
+* element text that is non-whitespace becomes the node's ``value`` when the
+  element is a leaf, and a child node tagged ``#text`` otherwise (mixed
+  content);
+* values that look like integers/floats are converted to numbers so that
+  the paper's range predicates ("year > 2000") work out of the box.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional, Union
+
+from ..errors import ParseError
+from .node import DocumentNode, Value
+from .tree import DocumentTree
+
+TEXT_TAG = "#text"
+
+
+def coerce_value(text: str) -> Value:
+    """Convert raw text to int/float when it cleanly parses, else keep str."""
+    stripped = text.strip()
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return stripped
+
+
+def _convert(element: ET.Element) -> DocumentNode:
+    node = DocumentNode(element.tag)
+    for key in sorted(element.attrib):
+        node.new_child(f"@{key}", coerce_value(element.attrib[key]))
+    text = (element.text or "").strip()
+    has_children = len(element) > 0
+    if text:
+        if has_children or element.attrib:
+            node.new_child(TEXT_TAG, coerce_value(text))
+        else:
+            node.value = coerce_value(text)
+    for child in element:
+        node.add_child(_convert(child))
+        tail = (child.tail or "").strip()
+        if tail:
+            node.new_child(TEXT_TAG, coerce_value(tail))
+    return node
+
+
+def parse_string(text: Union[str, bytes], name: str = "") -> DocumentTree:
+    """Parse an XML string into a frozen :class:`DocumentTree`.
+
+    Raises:
+        ParseError: when the text is not well-formed XML.
+    """
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        snippet = text if isinstance(text, str) else text.decode("utf8", "replace")
+        raise ParseError(f"malformed XML: {exc}", text=snippet) from exc
+    return DocumentTree(_convert(element), name=name)
+
+
+def parse_file(path, name: Optional[str] = None) -> DocumentTree:
+    """Parse the XML file at ``path``; ``name`` defaults to the file name."""
+    path = str(path)
+    try:
+        element = ET.parse(path).getroot()
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML in {path}: {exc}") from exc
+    except OSError as exc:
+        raise ParseError(f"cannot read {path}: {exc}") from exc
+    return DocumentTree(_convert(element), name=name if name is not None else path)

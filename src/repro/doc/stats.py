@@ -1,0 +1,47 @@
+"""Summary statistics for document trees (Table 1 inputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .serializer import text_size_bytes
+from .tree import DocumentTree
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Characteristics of a data set, as reported in the paper's Table 1.
+
+    Attributes:
+        name: data-set name.
+        element_count: number of nodes in the document tree.
+        text_size_mb: size of the serialized XML text in megabytes.
+        distinct_tags: number of distinct element tags.
+        max_depth: depth of the deepest element.
+        avg_fanout: mean number of children over internal (non-leaf) nodes.
+    """
+
+    name: str
+    element_count: int
+    text_size_mb: float
+    distinct_tags: int
+    max_depth: int
+    avg_fanout: float
+
+
+def document_stats(tree: DocumentTree) -> DocumentStats:
+    """Compute :class:`DocumentStats` for ``tree`` (one full pass + text)."""
+    internal = 0
+    child_edges = 0
+    for node in tree.iter_nodes():
+        if node.children:
+            internal += 1
+            child_edges += len(node.children)
+    return DocumentStats(
+        name=tree.name,
+        element_count=tree.element_count,
+        text_size_mb=text_size_bytes(tree) / (1024.0 * 1024.0),
+        distinct_tags=len(tree.tags),
+        max_depth=tree.max_depth(),
+        avg_fanout=(child_edges / internal) if internal else 0.0,
+    )

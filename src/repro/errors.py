@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DocumentError(ReproError):
+    """A document tree is malformed or an operation on it is invalid."""
+
+
+class ParseError(ReproError):
+    """Raised when XML text or a query string cannot be parsed.
+
+    Attributes:
+        text: the offending input (possibly truncated).
+        position: character offset of the failure, when known.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text[:200]
+        self.position = position
+
+
+class QueryError(ReproError):
+    """A twig query is structurally invalid (e.g. empty path, bad predicate)."""
+
+
+class SynopsisError(ReproError):
+    """A synopsis violates a structural invariant (partition, edges, ...)."""
+
+
+class EstimationError(ReproError):
+    """The estimation framework cannot produce an estimate for a query."""
+
+
+class BuildError(ReproError):
+    """XBUILD or a refinement operation failed or was misconfigured."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation could not satisfy the requested constraints."""

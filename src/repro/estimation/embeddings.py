@@ -1,0 +1,364 @@
+"""Maximal twig expansion and synopsis embeddings (paper Section 4).
+
+The estimation framework first rewrites a twig query into *maximal* form —
+every twig node carries a single navigational step — by (a) expanding each
+``//`` operator into the valid synopsis paths it can traverse and
+(b) splitting multi-step paths into chains of twig nodes.  Both rewrites
+preserve selectivity on tree data because every element is reached through
+a unique chain of intermediates.
+
+A maximal twig is then matched onto concrete synopsis nodes, giving an
+*embedding*: a tree of :class:`EmbeddingNode` objects, each naming one
+synopsis node and carrying the step's value predicate and branch
+predicates (themselves embedded as alternative chains).  The selectivity
+of the query is the sum of the selectivities of its embeddings, which
+:mod:`repro.estimation.estimator` evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..errors import EstimationError
+from ..query.ast import DESCENDANT, Path, Step, TwigNode, TwigQuery
+from ..query.values import ValuePredicate
+from ..synopsis.graph import GraphSynopsis
+
+#: Default cap on the length of a ``//`` expansion (synopsis hops).
+DEFAULT_MAX_DESCENDANT_DEPTH = 12
+
+#: Default cap on the number of embeddings enumerated per query.  When the
+#: cap is hit the remaining embeddings are dropped (documented truncation;
+#: the estimator reports it via :class:`EmbeddingBudget`).
+DEFAULT_MAX_EMBEDDINGS = 4096
+
+#: Safety cap on the number of synopsis walks explored per ``//`` step.
+MAX_DESCENDANT_EXPLORATION = 20_000
+
+#: Safety cap on the number of chains *yielded* per ``//`` step; on dense
+#: cyclic synopses (adversarial inputs) the walk space is exponential and
+#: the longest expansions carry vanishing selectivity anyway.
+MAX_DESCENDANT_CHAINS = 256
+
+
+class EmbeddingBudget:
+    """Enumeration budget shared across one query's expansion.
+
+    The limit caps the number of partial embeddings kept per twig node
+    (and thus the number of complete embeddings); hitting it anywhere
+    marks the enumeration as truncated.
+    """
+
+    def __init__(self, limit: int = DEFAULT_MAX_EMBEDDINGS):
+        self.limit = limit
+        self.truncated = False
+
+    def full(self, collected: int) -> bool:
+        """True (and mark truncated) when ``collected`` reached the limit."""
+        if collected >= self.limit:
+            self.truncated = True
+            return True
+        return False
+
+
+@dataclass
+class EmbeddingNode:
+    """One node of a twig embedding.
+
+    Attributes:
+        node_id: the synopsis node this twig node is matched to.
+        value_pred: the step's value predicate, if any.
+        branches: branch predicates — each entry is the list of alternative
+            existential chains (EmbeddingNode trees with at most one child
+            each) the branch path can embed into.
+        children: embeddings of the twig node's children (plus chain
+            intermediates created by maximal expansion).
+    """
+
+    node_id: int
+    value_pred: Optional[ValuePredicate] = None
+    branches: list[list["EmbeddingNode"]] = field(default_factory=list)
+    children: list["EmbeddingNode"] = field(default_factory=list)
+
+    def iter_subtree(self) -> Iterator["EmbeddingNode"]:
+        """Depth-first pre-order over the embedding (not into branches)."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def signature(self) -> tuple:
+        """Hashable structural identity (used to deduplicate embeddings)."""
+        return (
+            self.node_id,
+            self.value_pred,
+            tuple(
+                tuple(chain.signature() for chain in alternative)
+                for alternative in self.branches
+            ),
+            tuple(child.signature() for child in self.children),
+        )
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """A complete twig embedding: one way the query maps onto the synopsis."""
+
+    root: EmbeddingNode
+
+    def nodes(self) -> list[EmbeddingNode]:
+        """All embedding nodes, depth-first pre-order."""
+        return list(self.root.iter_subtree())
+
+
+def _chain_expansions(
+    synopsis: GraphSynopsis,
+    context: Optional[int],
+    path: Path,
+    max_depth: int,
+) -> Iterator[list[tuple[int, Step]]]:
+    """Enumerate synopsis chains matching ``path`` from ``context``.
+
+    Yields lists of ``(synopsis node id, step)`` pairs; ``//`` steps insert
+    intermediate pairs whose step is a bare tag step (no predicates), and
+    the matched step itself lands on the chain's last pair.  A ``context``
+    of None means the absolute position: the first step matches any
+    synopsis node with its tag (extent semantics, mirroring the exact
+    evaluator).
+    """
+
+    def continuations(
+        current: Optional[int], step: Step
+    ) -> Iterator[list[tuple[int, Step]]]:
+        if current is None:
+            for node in synopsis.nodes_with_tag(step.tag):
+                yield [(node.node_id, step)]
+            return
+        if step.axis != DESCENDANT:
+            for candidate in synopsis.children_of(current):
+                if synopsis.node(candidate.target).tag == step.tag:
+                    yield [(candidate.target, step)]
+            return
+        # Descendant axis: DFS over synopsis *walks* of length >= 1.  Walks
+        # may revisit nodes (recursive tags like section/section produce
+        # legitimate repeated synopsis nodes); termination comes from the
+        # depth cap plus a global exploration guard.
+        explored = 0
+        yielded = 0
+        # breadth-first so shorter (higher-selectivity) chains come first
+        # when the yield cap truncates the enumeration
+        queue: list[list[int]] = [
+            [edge.target] for edge in synopsis.children_of(current)
+        ]
+        position = 0
+        while position < len(queue):
+            chain = queue[position]
+            position += 1
+            tail = chain[-1]
+            if synopsis.node(tail).tag == step.tag:
+                yielded += 1
+                if yielded > MAX_DESCENDANT_CHAINS:
+                    return
+                yield [
+                    (node_id, Step(synopsis.node(node_id).tag))
+                    for node_id in chain[:-1]
+                ] + [(tail, step)]
+            if len(chain) < max_depth:
+                for edge in synopsis.children_of(tail):
+                    explored += 1
+                    if explored > MAX_DESCENDANT_EXPLORATION:
+                        return
+                    queue.append(chain + [edge.target])
+
+    def recurse(
+        current: Optional[int], steps: Sequence[Step]
+    ) -> Iterator[list[tuple[int, Step]]]:
+        head, rest = steps[0], steps[1:]
+        for prefix in continuations(current, head):
+            if not rest:
+                yield prefix
+                continue
+            for suffix in recurse(prefix[-1][0], rest):
+                yield prefix + suffix
+
+    yield from recurse(context, path.steps)
+
+
+def _embed_branch(
+    synopsis: GraphSynopsis,
+    context: int,
+    branch: Path,
+    max_depth: int,
+    budget: EmbeddingBudget,
+) -> list[EmbeddingNode]:
+    """All alternative existential chains for a branch predicate."""
+    alternatives: list[EmbeddingNode] = []
+    for chain in _chain_expansions(synopsis, context, branch, max_depth):
+        head: Optional[EmbeddingNode] = None
+        tail: Optional[EmbeddingNode] = None
+        valid = True
+        for node_id, step in chain:
+            embedded = EmbeddingNode(node_id, step.value_pred)
+            for nested in step.branches:
+                nested_alternatives = _embed_branch(
+                    synopsis, node_id, nested, max_depth, budget
+                )
+                if not nested_alternatives:
+                    valid = False
+                    break
+                embedded.branches.append(nested_alternatives)
+            if not valid:
+                break
+            if head is None:
+                head = embedded
+            else:
+                tail.children.append(embedded)
+            tail = embedded
+        if valid and head is not None:
+            alternatives.append(head)
+    return alternatives
+
+
+def enumerate_embeddings(
+    query: TwigQuery,
+    synopsis: GraphSynopsis,
+    max_depth: int = DEFAULT_MAX_DESCENDANT_DEPTH,
+    budget: Optional[EmbeddingBudget] = None,
+) -> list[Embedding]:
+    """All (deduplicated) embeddings of ``query`` over ``synopsis``.
+
+    Branch predicates that cannot be embedded anywhere make the candidate
+    embedding invalid (its estimate would be zero).  Enumeration stops at
+    the budget's limit; check ``budget.truncated`` afterwards when you
+    supplied one.
+    """
+    budget = budget or EmbeddingBudget()
+
+    def embed_twig(node: TwigNode, context: Optional[int]) -> list[EmbeddingNode]:
+        results: list[EmbeddingNode] = []
+        for chain in _chain_expansions(synopsis, context, node.path, max_depth):
+            if budget.full(len(results)):
+                return results
+            head: Optional[EmbeddingNode] = None
+            tail: Optional[EmbeddingNode] = None
+            valid = True
+            for node_id, step in chain:
+                embedded = EmbeddingNode(node_id, step.value_pred)
+                for branch in step.branches:
+                    alternatives = _embed_branch(
+                        synopsis, node_id, branch, max_depth, budget
+                    )
+                    if not alternatives:
+                        valid = False
+                        break
+                    embedded.branches.append(alternatives)
+                if not valid:
+                    break
+                if head is None:
+                    head = embedded
+                else:
+                    tail.children.append(embedded)
+                tail = embedded
+            if not valid or head is None:
+                continue
+            # Attach the twig node's children below the chain's last node.
+            child_sets: list[list[EmbeddingNode]] = []
+            ok = True
+            for child in node.children:
+                embedded_children = embed_twig(child, tail.node_id)
+                if not embedded_children:
+                    ok = False
+                    break
+                child_sets.append(embedded_children)
+            if not ok:
+                continue
+            for combination in _product(child_sets):
+                if budget.full(len(results)):
+                    return results
+                clone = _clone_chain(head)
+                clone_tail = clone
+                while clone_tail.children:
+                    clone_tail = clone_tail.children[0]
+                clone_tail.children.extend(combination)
+                results.append(clone)
+        return results
+
+    roots = embed_twig(query.root, None)
+    unique: dict[tuple, Embedding] = {}
+    for root in roots:
+        unique.setdefault(root.signature(), Embedding(root))
+    return list(unique.values())
+
+
+def _product(sets: list[list[EmbeddingNode]]) -> Iterator[list[EmbeddingNode]]:
+    if not sets:
+        yield []
+        return
+    head, rest = sets[0], sets[1:]
+    for choice in head:
+        for remainder in _product(rest):
+            yield [choice] + remainder
+
+
+def _clone_chain(node: EmbeddingNode) -> EmbeddingNode:
+    clone = EmbeddingNode(node.node_id, node.value_pred, list(node.branches))
+    if node.children:
+        clone.children = [_clone_chain(node.children[0])]
+    return clone
+
+
+def maximal_twigs(
+    query: TwigQuery,
+    synopsis: GraphSynopsis,
+    max_depth: int = DEFAULT_MAX_DESCENDANT_DEPTH,
+) -> list[TwigQuery]:
+    """The set of maximal twig queries of ``query`` over ``synopsis``.
+
+    Every node of a maximal twig carries a single-step path (paper
+    Figure 5).  Distinct embeddings that share tag structure collapse to
+    one maximal twig.
+    """
+    embeddings = enumerate_embeddings(query, synopsis, max_depth)
+
+    def to_twig(node: EmbeddingNode, counter: list[int]) -> TwigNode:
+        step = Step(
+            synopsis.node(node.node_id).tag,
+            value_pred=node.value_pred,
+            branches=tuple(
+                _branch_path(synopsis, alternatives[0])
+                for alternatives in node.branches
+            ),
+        )
+        twig_node = TwigNode(f"t{counter[0]}", Path((step,)))
+        counter[0] += 1
+        for child in node.children:
+            twig_node.add_child(to_twig(child, counter))
+        return twig_node
+
+    unique: dict[str, TwigQuery] = {}
+    for embedding in embeddings:
+        candidate = TwigQuery(to_twig(embedding.root, [0]))
+        unique.setdefault(candidate.text(), candidate)
+    return list(unique.values())
+
+
+def _branch_path(synopsis: GraphSynopsis, chain: EmbeddingNode) -> Path:
+    steps: list[Step] = []
+    current: Optional[EmbeddingNode] = chain
+    while current is not None:
+        steps.append(
+            Step(synopsis.node(current.node_id).tag, value_pred=current.value_pred)
+        )
+        current = current.children[0] if current.children else None
+    return Path(tuple(steps))
+
+
+def validate_embedding(embedding: Embedding, synopsis: GraphSynopsis) -> None:
+    """Check that every embedding edge exists in the synopsis (tests)."""
+    for node in embedding.nodes():
+        for child in node.children:
+            if synopsis.edge(node.node_id, child.node_id) is None:
+                raise EstimationError(
+                    f"embedding uses missing edge "
+                    f"{node.node_id}->{child.node_id}"
+                )

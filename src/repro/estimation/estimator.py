@@ -1,0 +1,412 @@
+"""Twig selectivity estimation over a Twig XSKETCH (paper Section 4).
+
+The estimator evaluates, per embedding, the paper's selectivity expression
+
+    s(T) = |n_0| · (Π_i Π_{C ∈ U_i} Σ F_i(C)) ·
+           Σ_{E_1..E_m} F_0(E_0 | D_0) · ... · F_m(E_m | D_m)
+
+using the TREEPARSE plan and the three statistical assumptions:
+
+* **Forward Independence** — dimensions of a histogram that the query does
+  not touch are marginalized away; counts held in different histograms (or
+  no histogram) multiply independently.
+* **Correlation Scope Independence** — ``F(E | D)`` is computed as
+  ``H(E ∪ D) / H(D)`` by conditioning the histogram's points on the
+  ancestor values in ``D``; backward counts outside the stored scope are
+  dropped from the conditioning.
+* **Forward Uniformity** — a child edge covered by no histogram
+  contributes its average child count ``|n_i → n_j| / |n_i|``.
+
+Value predicates multiply in the node's value-histogram selectivity
+(independence of structure and value, matching the measured prototype);
+branch predicates multiply in an existence probability computed from edge
+stabilities, stored count distributions, and uniformity fallbacks (the
+rules reconstructed from the conference text; see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..histogram import ops
+from ..query.ast import TwigQuery
+from ..synopsis.distributions import EdgeRef
+from ..synopsis.summary import TwigXSketch
+from .embeddings import (
+    DEFAULT_MAX_DESCENDANT_DEPTH,
+    Embedding,
+    EmbeddingBudget,
+    EmbeddingNode,
+    enumerate_embeddings,
+)
+from .treeparse import NodePlan, tree_parse
+
+Context = tuple[tuple[EdgeRef, float], ...]
+
+
+@dataclass(frozen=True)
+class EstimateReport:
+    """An estimate plus diagnostics.
+
+    Attributes:
+        selectivity: the estimated number of binding tuples.
+        embeddings: how many embeddings contributed.
+        truncated: True when embedding enumeration hit its cap.
+    """
+
+    selectivity: float
+    embeddings: int
+    truncated: bool
+
+
+class TwigEstimator:
+    """Estimates twig-query selectivities over one :class:`TwigXSketch`.
+
+    Args:
+        sketch: the synopsis to estimate over.
+        max_depth: cap on ``//`` expansion length.
+        max_embeddings: cap on enumerated embeddings per query.
+    """
+
+    def __init__(
+        self,
+        sketch: TwigXSketch,
+        max_depth: int = DEFAULT_MAX_DESCENDANT_DEPTH,
+        max_embeddings: int = 4096,
+        branch_conditioning: bool = True,
+    ):
+        self.sketch = sketch
+        self.max_depth = max_depth
+        self.max_embeddings = max_embeddings
+        #: condition joint histograms on covered branch predicates instead
+        #: of assuming branch/count independence (ablation E11)
+        self.branch_conditioning = branch_conditioning
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def estimate(self, query: TwigQuery) -> float:
+        """Estimated selectivity ``s(T_Q)`` (sum over embeddings)."""
+        return self.report(query).selectivity
+
+    def report(self, query: TwigQuery) -> EstimateReport:
+        """Estimate with diagnostics."""
+        budget = EmbeddingBudget(self.max_embeddings)
+        embeddings = enumerate_embeddings(
+            query, self.sketch.graph, self.max_depth, budget
+        )
+        total = sum(self.estimate_embedding(e) for e in embeddings)
+        return EstimateReport(total, len(embeddings), budget.truncated)
+
+    def estimate_embedding(self, embedding: Embedding) -> float:
+        """The selectivity of one embedding: ``|n_0| ·`` root expansion."""
+        plans = tree_parse(embedding, self.sketch, self.branch_conditioning)
+        root = embedding.root
+        base = float(self.sketch.graph.node(root.node_id).count)
+        needed = _needed_backward_refs(root, plans)
+        memo: dict[tuple[int, Context], float] = {}
+        return base * self._expand(root, plans, (), needed, memo)
+
+    # ------------------------------------------------------------------
+    # the recursive expansion
+    # ------------------------------------------------------------------
+    def _expand(
+        self,
+        node: EmbeddingNode,
+        plans: dict[int, NodePlan],
+        context: Context,
+        needed: dict[int, frozenset[EdgeRef]],
+        memo: dict[tuple[int, Context], float],
+    ) -> float:
+        """Expected binding tuples of ``node``'s subtree per element of its
+        synopsis node, given the ancestor count assignment ``context``."""
+        relevant = tuple(
+            item for item in context if item[0] in needed[id(node)]
+        )
+        key = (id(node), relevant)
+        if key in memo:
+            return memo[key]
+
+        plan = plans[id(node)]
+        result = self._local_factor(
+            node,
+            dict(relevant),
+            plan.absorbed_branches,
+            skip_value_pred=plan.value_pred_absorbed,
+        )
+        if result > 0:
+            for use in plan.extended_uses:
+                result *= self._extended_factor(
+                    node, use, plans, context, needed, memo
+                )
+                if result == 0:
+                    break
+        if result > 0 and (node.children or plan.uses):
+            for child in plan.uncovered:
+                # Forward Uniformity: |n_i -> n_j| / |n_i| per element.
+                average = self.sketch.edge_child_count(
+                    node.node_id, child.node_id
+                ) / self.sketch.graph.node(node.node_id).count
+                result *= average
+                if result == 0:
+                    break
+                result *= self._expand(child, plans, context, needed, memo)
+            for use in plan.uses:
+                if result == 0:
+                    break
+                result *= self._histogram_factor(
+                    node, use, plans, context, needed, memo
+                )
+        memo[key] = result
+        return result
+
+    def _histogram_factor(
+        self,
+        node: EmbeddingNode,
+        use,
+        plans: dict[int, NodePlan],
+        context: Context,
+        needed: dict[int, frozenset[EdgeRef]],
+        memo: dict[tuple[int, Context], float],
+    ) -> float:
+        """``Σ_points mass · Π_E (count · child expansion)`` conditioned on D.
+
+        Marginalizes unused dimensions first (Forward Independence), then
+        conditions on the ancestor values of the D dimensions (Correlation
+        Scope Independence).
+        """
+        context_map = dict(context)
+        kept = use.kept_dimensions()
+        points = use.histogram.points()
+        if len(kept) < use.histogram.dimensions:
+            points = ops.marginalize(points, kept)
+        remap = {dim: position for position, dim in enumerate(kept)}
+
+        assignment = {
+            remap[dim]: context_map[ref]
+            for dim, ref in use.conditions.items()
+            if ref in context_map
+        }
+        if assignment:
+            surviving = [p for p in remap.values() if p not in assignment]
+            points = ops.condition(points, assignment)
+            remap = {
+                dim: surviving.index(position)
+                for dim, position in remap.items()
+                if position not in assignment
+            }
+
+        branch_satisfaction = {
+            dim: self._per_child_satisfaction(chain)
+            for dim, chain in use.branch_conditions.items()
+        }
+
+        total = 0.0
+        for vector, mass in points:
+            term = mass
+            extended: Optional[Context] = None
+            for dim, chain_rate in branch_satisfaction.items():
+                count = vector[remap[dim]]
+                if count <= 0 or chain_rate <= 0:
+                    term = 0.0
+                    break
+                # P(some witness child satisfies the branch | count)
+                term *= 1.0 - (1.0 - chain_rate) ** count
+            if term == 0:
+                continue
+            for dim, children in use.expansion.items():
+                count = vector[remap[dim]]
+                if count <= 0:
+                    term = 0.0
+                    break
+                ref = use.histogram.scope[dim]
+                if extended is None:
+                    extended = context + tuple(
+                        (use.histogram.scope[d], vector[remap[d]])
+                        for d in use.expansion
+                    )
+                for child in children:
+                    term *= count * self._expand(
+                        child, plans, extended, needed, memo
+                    )
+                    if term == 0:
+                        break
+                if term == 0:
+                    break
+            total += term
+        return total
+
+    # ------------------------------------------------------------------
+    # local predicates
+    # ------------------------------------------------------------------
+    def _extended_factor(
+        self,
+        node: EmbeddingNode,
+        use,
+        plans,
+        context: Context,
+        needed,
+        memo,
+    ) -> float:
+        """One extended-value-histogram factor:
+
+        ``P(value predicate) × Σ_points mass · Π (count · child expansion)``
+
+        over the count distribution *conditioned on the predicate* — the
+        paper's value↔structure correlation in action.
+        """
+        match = use.summary.histogram.match_mass(use.predicate)
+        if match <= 0:
+            return 0.0
+        factor = match
+        if use.expansion:
+            points = use.summary.histogram.conditional_points(use.predicate)
+            total = 0.0
+            for vector, mass in points:
+                term = mass
+                for dim, children in use.expansion.items():
+                    count = vector[dim]
+                    if count <= 0:
+                        term = 0.0
+                        break
+                    for child in children:
+                        term *= count * self._expand(
+                            child, plans, context, needed, memo
+                        )
+                        if term == 0:
+                            break
+                    if term == 0:
+                        break
+                total += term
+            factor *= total
+        return factor
+
+    def _local_factor(
+        self,
+        node: EmbeddingNode,
+        context_map: dict[EdgeRef, float],
+        absorbed_branches: frozenset | set = frozenset(),
+        skip_value_pred: bool = False,
+    ) -> float:
+        """Value-predicate selectivity × branch-existence probabilities.
+
+        Branches listed in ``absorbed_branches`` are handled inside a
+        histogram factor (branch conditioning or an extended value
+        histogram) and skipped here, as is the node's own value predicate
+        when an extended histogram consumed it.
+        """
+        factor = 1.0
+        if node.value_pred is not None and not skip_value_pred:
+            factor *= self.value_selectivity(node.node_id, node.value_pred)
+        for index, alternatives in enumerate(node.branches):
+            if index in absorbed_branches:
+                continue
+            factor *= self._branch_any(node.node_id, alternatives)
+            if factor == 0:
+                return 0.0
+        return factor
+
+    def value_selectivity(self, node_id: int, predicate) -> float:
+        """Fraction of the node's elements whose value satisfies ``predicate``.
+
+        Elements without values (no value histogram stored) cannot match.
+        """
+        summary = self.sketch.value_summary(node_id)
+        if summary is None:
+            return 0.0
+        return summary.histogram.selectivity(predicate)
+
+    # ------------------------------------------------------------------
+    # branch predicates
+    # ------------------------------------------------------------------
+    def _branch_any(
+        self, node_id: int, alternatives: Sequence[EmbeddingNode]
+    ) -> float:
+        """P(at least one alternative chain exists): 1 − Π(1 − p_i)."""
+        miss = 1.0
+        for chain in alternatives:
+            miss *= 1.0 - self._branch_chain(node_id, chain)
+            if miss == 0:
+                break
+        return 1.0 - miss
+
+    def _branch_chain(self, parent_id: int, chain: EmbeddingNode) -> float:
+        """P(an element of ``parent_id`` has the existential chain).
+
+        Decomposes into P(≥ 1 child in the chain head's node) times the
+        probability that a child satisfies the rest; with ``r`` the child's
+        own satisfaction probability and ``k̄`` the mean child count among
+        elements that have children, the head factor is
+        ``q · (1 − (1 − r)^k̄)`` — exact for r ∈ {0, 1}.
+        """
+        graph = self.sketch.graph
+        edge = graph.edge(parent_id, chain.node_id)
+        if edge is None:
+            return 0.0
+        mean_count = self.sketch.edge_child_count(
+            parent_id, chain.node_id
+        ) / graph.node(parent_id).count
+        probability_positive = self._positive_probability(
+            parent_id, chain.node_id, edge, mean_count
+        )
+        if probability_positive <= 0:
+            return 0.0
+
+        per_child = self._per_child_satisfaction(chain)
+        if per_child >= 1.0:
+            return probability_positive
+        average_given_positive = max(1.0, mean_count / probability_positive)
+        return probability_positive * (
+            1.0 - (1.0 - per_child) ** average_given_positive
+        )
+
+    def _per_child_satisfaction(self, chain: EmbeddingNode) -> float:
+        """P(one specific child of the chain's node satisfies the chain):
+        its own predicates times the probability of the remaining steps."""
+        rate = self._local_factor(chain, {})
+        if chain.children:
+            rate *= self._branch_chain(chain.node_id, chain.children[0])
+        return min(1.0, max(0.0, rate))
+
+    def _positive_probability(
+        self, parent_id: int, child_id: int, edge, mean_count: float
+    ) -> float:
+        """P(element of parent has ≥ 1 child in child node).
+
+        F-stable edge → 1; a stored histogram covering the edge → mass of
+        positive counts; otherwise ``min(1, mean count)`` (uniformity).
+        """
+        if edge.forward_stable:
+            return 1.0
+        ref = EdgeRef(parent_id, child_id)
+        for histogram in self.sketch.histograms_at(parent_id):
+            dim = histogram.index_of(ref)
+            if dim is not None:
+                return ops.mass_where_positive(histogram.points(), dim)
+        return min(1.0, mean_count)
+
+
+def _needed_backward_refs(
+    root: EmbeddingNode, plans: dict[int, NodePlan]
+) -> dict[int, frozenset[EdgeRef]]:
+    """For each embedding node, the backward refs its subtree conditions on.
+
+    Used to memoize :meth:`TwigEstimator._expand` on just the relevant part
+    of the ancestor context.
+    """
+    needed: dict[int, frozenset[EdgeRef]] = {}
+
+    def visit(node: EmbeddingNode) -> frozenset[EdgeRef]:
+        refs: set[EdgeRef] = set()
+        plan = plans[id(node)]
+        for use in plan.uses:
+            refs.update(use.conditions.values())
+        for child in node.children:
+            refs |= visit(child)
+        result = frozenset(refs)
+        needed[id(node)] = result
+        return result
+
+    visit(root)
+    return needed

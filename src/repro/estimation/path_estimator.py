@@ -1,0 +1,88 @@
+"""Single-path selectivity estimation (the earlier structural XSKETCH).
+
+The paper repeatedly leans on its earlier single-path framework — for the
+``|n_i → n_j|`` terms and for the ablation comparing Twig XSKETCHes with
+Structural XSKETCHes on single-path workloads (Section 6.2).  This module
+implements that estimator over the same synopsis: the cardinality of a path
+expression's result set (the number of elements its last step reaches),
+with value and branch predicates.
+
+The chain estimate composes per-edge child counts with a coverage fraction
+(the probability a parent element survived the previous steps), assuming
+children are spread uniformly over parents — exact whenever every chain
+edge is Backward-stable and no predicates filter elements, which is the
+single-path zero-error guarantee of the label-split synopsis on stable
+paths.
+"""
+
+from __future__ import annotations
+
+from ..query.ast import Path, TwigNode, TwigQuery
+from ..synopsis.summary import TwigXSketch
+from .embeddings import DEFAULT_MAX_DESCENDANT_DEPTH, _chain_expansions, _embed_branch
+from .embeddings import EmbeddingBudget
+from .estimator import TwigEstimator
+
+
+class PathEstimator:
+    """Estimates single-path result cardinalities over a Twig XSKETCH."""
+
+    def __init__(
+        self, sketch: TwigXSketch, max_depth: int = DEFAULT_MAX_DESCENDANT_DEPTH
+    ):
+        self.sketch = sketch
+        self.max_depth = max_depth
+        # Branch probabilities and value selectivities are shared with the
+        # twig estimator; reuse its implementation on the same sketch.
+        self._twig = TwigEstimator(sketch, max_depth)
+
+    def estimate(self, path: Path) -> float:
+        """Estimated number of elements in the path's result set."""
+        total = 0.0
+        for chain in _chain_expansions(
+            self.sketch.graph, None, path, self.max_depth
+        ):
+            total += self._chain_estimate(chain)
+        return total
+
+    def estimate_query(self, query: TwigQuery) -> float:
+        """Estimate a twig query that is a pure chain (no real branching).
+
+        Raises:
+            ValueError: when the query is not a chain of single children.
+        """
+        steps = []
+        node: TwigNode | None = query.root
+        while node is not None:
+            steps.extend(node.path.steps)
+            if len(node.children) > 1:
+                raise ValueError("PathEstimator only handles chain queries")
+            node = node.children[0] if node.children else None
+        return self.estimate(Path(tuple(steps)))
+
+    # ------------------------------------------------------------------
+    def _chain_estimate(self, chain) -> float:
+        graph = self.sketch.graph
+        previous_id: int | None = None
+        selected = 0.0
+        for node_id, step in chain:
+            node_size = graph.node(node_id).count
+            if previous_id is None:
+                reached = float(node_size)
+            else:
+                coverage = selected / graph.node(previous_id).count
+                reached = self.sketch.edge_child_count(previous_id, node_id) * coverage
+            if step.value_pred is not None:
+                reached *= self._twig.value_selectivity(node_id, step.value_pred)
+            for branch in step.branches:
+                alternatives = _embed_branch(
+                    graph, node_id, branch, self.max_depth, EmbeddingBudget()
+                )
+                if not alternatives:
+                    return 0.0
+                reached *= self._twig._branch_any(node_id, alternatives)
+            if reached <= 0:
+                return 0.0
+            selected = reached
+            previous_id = node_id
+        return selected

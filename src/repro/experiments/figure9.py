@@ -1,0 +1,119 @@
+"""Figure 9: the paper's three headline plots.
+
+* (a) estimation error vs synopsis size on the **P** workload (branching
+  predicates), IMDB and XMark — error starts high on IMDB and drops as
+  XBUILD refines; XMark stays low throughout;
+* (b) the same sweep on the **P+V** workload (branching + value
+  predicates) — same trend, higher absolute error;
+* (c) the ratio err_CST / err_XSKETCH on simple-path twig workloads for
+  all three data sets, with CST outlier errors (>1000%) excluded as the
+  paper does — the ratio is above 1 and grows with the space budget.
+"""
+
+from __future__ import annotations
+
+from ..baselines.cst import CorrelatedSuffixTree, CSTEstimator
+from ..workload.metrics import average_relative_error
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .reporting import render_series
+from .runner import dataset, sketch_error, synopsis_sweep, workload
+
+#: the paper excludes CST estimates whose error exceeds 1000%
+CST_OUTLIER_THRESHOLD = 10.0
+
+#: floor for the ratio denominator — when the XSKETCH error reaches ~0 on a
+#: finite workload the raw ratio is unbounded; the paper likewise trims the
+#: ratio "within reasonable bounds".  0.2% ≈ one marginally-off query in a
+#: 500-query workload.
+RATIO_ERROR_FLOOR = 0.002
+
+Series = dict[str, list[tuple[float, float]]]
+
+
+def run_figure9a(config: ExperimentConfig = DEFAULT_CONFIG) -> Series:
+    """Error (%) vs synopsis size (KB), P workload, IMDB + XMark."""
+    series: Series = {}
+    for name in ("imdb", "xmark"):
+        load = workload(name, "P", config)
+        points = [
+            (sketch.size_kb(), 100.0 * sketch_error(sketch, load))
+            for sketch in synopsis_sweep(name, config)
+        ]
+        series[name.upper()] = points
+    return series
+
+
+def run_figure9b(config: ExperimentConfig = DEFAULT_CONFIG) -> Series:
+    """Error (%) vs synopsis size (KB), P+V workload, IMDB + XMark."""
+    series: Series = {}
+    for name in ("imdb", "xmark"):
+        load = workload(name, "P+V", config)
+        points = [
+            (sketch.size_kb(), 100.0 * sketch_error(sketch, load))
+            for sketch in synopsis_sweep(name, config, value_samples=True)
+        ]
+        series[name.upper()] = points
+    return series
+
+
+def run_figure9c(config: ExperimentConfig = DEFAULT_CONFIG) -> Series:
+    """err_CST / err_XSKETCH vs storage (KB), all three data sets.
+
+    Both summaries get the same byte budget at every sweep point; the CST
+    error excludes per-query outliers above 1000%, mirroring the paper.
+    """
+    series: Series = {}
+    for name in ("xmark", "imdb", "sprot"):
+        tree = dataset(name, config)
+        load = workload(name, "simple", config)
+        truths = load.true_counts()
+        points: list[tuple[float, float]] = []
+        for sketch in synopsis_sweep(name, config):
+            budget = sketch.size_bytes()
+            cst = CorrelatedSuffixTree.build(tree, budget)
+            cst_estimator = CSTEstimator(cst)
+            cst_error = average_relative_error(
+                [cst_estimator.estimate(e.query) for e in load.queries],
+                truths,
+                exclude_above=CST_OUTLIER_THRESHOLD,
+            )
+            xsketch_error = sketch_error(sketch, load)
+            ratio = cst_error / max(xsketch_error, RATIO_ERROR_FLOOR)
+            points.append((budget / 1024.0, ratio))
+        series[name.upper()] = points
+    return series
+
+
+def format_figure9a(series: Series) -> str:
+    """Render the Figure 9(a) series."""
+    return render_series(
+        "Figure 9(a): Branching Predicates (P workload)",
+        "size (KB)",
+        "error (%)",
+        series,
+        note="paper: IMDB starts at 124% and falls to ~20% by 50 KB; "
+        "XMark stays low at every size",
+    )
+
+
+def format_figure9b(series: Series) -> str:
+    """Render the Figure 9(b) series."""
+    return render_series(
+        "Figure 9(b): Branching and Value Predicates (P+V workload)",
+        "size (KB)",
+        "error (%)",
+        series,
+        note="paper: same downward trend as 9(a) with higher overall error",
+    )
+
+
+def format_figure9c(series: Series) -> str:
+    """Render the Figure 9(c) series."""
+    return render_series(
+        "Figure 9(c): Simple Paths, CSTs vs XSKETCHes (error ratio)",
+        "size (KB)",
+        "err_CST/err_X",
+        series,
+        note="paper at 50 KB: ~1.0 on SProt (14%/14%), 5.5 on IMDB "
+        "(44%/8%), 8.7 on XMark (26%/3%); ratio rises with budget",
+    )

@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment tables and series."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    note: str = "",
+) -> str:
+    """An aligned monospace table with a title line (and optional note)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in cells))
+        if cells
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.rjust(width) for value, width in zip(values, widths))
+
+    out = [f"== {title} ==", line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    if note:
+        out.append(f"   {note}")
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    y_label: str,
+    series: dict[str, list[tuple[float, float]]],
+    note: str = "",
+) -> str:
+    """One table per named series of (x, y) points."""
+    blocks = [f"== {title} =="]
+    for name, points in series.items():
+        blocks.append(f"-- {name} --")
+        blocks.append(f"{x_label:>12}  {y_label:>12}")
+        for x, y in points:
+            blocks.append(f"{x:>12.1f}  {y:>12.2f}")
+    if note:
+        blocks.append(f"   {note}")
+    return "\n".join(blocks)

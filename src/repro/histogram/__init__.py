@@ -1,0 +1,31 @@
+"""Summarization engines for count distributions and value populations.
+
+* :class:`SparseDistribution` — exact multidimensional count distribution;
+* :class:`CentroidHistogram` — bucketized approximation (default engine);
+* :class:`WaveletHistogram` — Haar-wavelet alternative (paper 3.2/3.3);
+* value histograms — 1-D summaries of element values for value predicates;
+* :mod:`repro.histogram.ops` — point-list algebra used by estimation
+  (marginalize, condition, expected products).
+"""
+
+from . import ops
+from .centroid import CentroidHistogram
+from .joint import ValueCountHistogram
+from .sparse import SparseDistribution
+from .value import (
+    NumericValueHistogram,
+    StringValueHistogram,
+    build_value_histogram,
+)
+from .wavelet import WaveletHistogram
+
+__all__ = [
+    "CentroidHistogram",
+    "NumericValueHistogram",
+    "SparseDistribution",
+    "StringValueHistogram",
+    "ValueCountHistogram",
+    "WaveletHistogram",
+    "build_value_histogram",
+    "ops",
+]

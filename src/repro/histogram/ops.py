@@ -1,0 +1,118 @@
+"""Point-list operations shared by all histogram engines.
+
+Every histogram engine in this package exposes its content as a list of
+*points* ``(vector, mass)`` — a representative count vector (floats) plus
+the probability mass it carries.  The estimation framework only consumes
+points, so engines (exact sparse, centroid, wavelet) are interchangeable.
+This module holds the pure functions over point lists: marginalization,
+conditioning, expected products, and normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Point = tuple[tuple[float, ...], float]
+
+#: Two count values within this distance are treated as "the same count"
+#: when conditioning a bucketized distribution on a backward count.
+CONDITION_EPS = 0.5
+
+
+def total_mass(points: Sequence[Point]) -> float:
+    """Sum of the masses of all points."""
+    return sum(mass for _, mass in points)
+
+
+def normalize(points: Sequence[Point]) -> list[Point]:
+    """Scale masses so they sum to 1; empty input stays empty."""
+    total = total_mass(points)
+    if total <= 0:
+        return []
+    return [(vector, mass / total) for vector, mass in points]
+
+
+def marginalize(points: Sequence[Point], keep: Sequence[int]) -> list[Point]:
+    """Project points onto the dimensions in ``keep`` (by index), merging
+    points that collapse onto the same projected vector."""
+    merged: dict[tuple[float, ...], float] = {}
+    for vector, mass in points:
+        projected = tuple(vector[i] for i in keep)
+        merged[projected] = merged.get(projected, 0.0) + mass
+    return sorted(merged.items())
+
+
+def condition(
+    points: Sequence[Point], assignment: dict[int, float]
+) -> list[Point]:
+    """Restrict points to those matching ``assignment`` on the given
+    dimension indexes, drop those dimensions, and renormalize.
+
+    This realizes the paper's Correlation Scope Independence computation
+    ``H(E ∪ D) / H(D)``.  Matching is exact up to :data:`CONDITION_EPS`;
+    when no point matches (the conditioning value fell between bucket
+    centroids), the nearest points by L1 distance on the condition
+    dimensions are used instead, so conditioning never silently returns an
+    empty distribution for a non-empty histogram.
+    """
+    if not assignment:
+        return list(points)
+    keep = [i for i in range(_width(points)) if i not in assignment]
+
+    matching: list[Point] = []
+    for vector, mass in points:
+        if all(abs(vector[dim] - value) <= CONDITION_EPS
+               for dim, value in assignment.items()):
+            matching.append((tuple(vector[i] for i in keep), mass))
+    if not matching and points:
+        best = min(
+            points,
+            key=lambda point: sum(
+                abs(point[0][dim] - value) for dim, value in assignment.items()
+            ),
+        )
+        distance = sum(
+            abs(best[0][dim] - value) for dim, value in assignment.items()
+        )
+        matching = [
+            (tuple(vector[i] for i in keep), mass)
+            for vector, mass in points
+            if sum(abs(vector[dim] - value) for dim, value in assignment.items())
+            <= distance + CONDITION_EPS
+        ]
+    return normalize(matching)
+
+
+def expected_product(points: Sequence[Point], dims: Sequence[int]) -> float:
+    """The paper's ``Σ F(...) = Σ f(c) · Π c_i`` over the given dimensions.
+
+    With ``dims`` empty this is simply the total mass.
+    """
+    total = 0.0
+    for vector, mass in points:
+        product = mass
+        for dim in dims:
+            product *= vector[dim]
+        total += product
+    return total
+
+
+def mass_where_positive(points: Sequence[Point], dim: int) -> float:
+    """Mass of points whose count on ``dim`` is (essentially) positive.
+
+    Used for branch-predicate probabilities: the fraction of elements with
+    at least one child along the branch edge.
+    """
+    return sum(mass for vector, mass in points if vector[dim] > CONDITION_EPS)
+
+
+def mean(points: Sequence[Point], dim: int) -> float:
+    """Mass-weighted mean of dimension ``dim`` (assumes unit total mass)."""
+    total = total_mass(points)
+    if total <= 0:
+        return 0.0
+    return sum(vector[dim] * mass for vector, mass in points) / total
+
+
+def _width(points: Sequence[Point]) -> int:
+    return len(points[0][0]) if points else 0

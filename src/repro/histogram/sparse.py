@@ -1,0 +1,110 @@
+"""Exact sparse distributions over integer count vectors.
+
+An *edge distribution* ``f_i(C_1, ..., C_k)`` (paper Section 3.2) assigns to
+each integer count vector the fraction of elements realizing it.  This class
+stores it exactly and is the input to every compression engine, and also the
+"full information" reference against which compression is tested (the paper:
+"the final expression will compute the selectivity of T with zero error if
+the synopsis records full information").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import SynopsisError
+from . import ops
+from .ops import Point
+
+
+class SparseDistribution:
+    """An exact multidimensional fraction distribution over count vectors.
+
+    Args:
+        fractions: mapping from integer count vectors to fractions; must be
+            non-negative and is normalized to unit mass on construction.
+
+    Raises:
+        SynopsisError: on inconsistent vector widths or non-positive mass.
+    """
+
+    def __init__(self, fractions: Mapping[tuple[int, ...], float]):
+        if not fractions:
+            raise SynopsisError("a distribution needs at least one point")
+        widths = {len(vector) for vector in fractions}
+        if len(widths) != 1:
+            raise SynopsisError(f"inconsistent vector widths: {sorted(widths)}")
+        total = float(sum(fractions.values()))
+        if total <= 0:
+            raise SynopsisError("distribution has no mass")
+        if any(value < 0 for value in fractions.values()):
+            raise SynopsisError("negative fraction in distribution")
+        self._points: list[Point] = sorted(
+            (tuple(float(c) for c in vector), value / total)
+            for vector, value in fractions.items()
+            if value > 0
+        )
+        self.dimensions = widths.pop()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_observations(
+        vectors: Iterable[tuple[int, ...]]
+    ) -> "SparseDistribution":
+        """Build from one count vector per element (fractions = frequencies)."""
+        counts = Counter(vectors)
+        if not counts:
+            raise SynopsisError("no observations")
+        return SparseDistribution(counts)
+
+    # ------------------------------------------------------------------
+    # the common engine interface
+    # ------------------------------------------------------------------
+    def points(self) -> list[Point]:
+        """All (vector, fraction) points; fractions sum to 1."""
+        return list(self._points)
+
+    @property
+    def point_count(self) -> int:
+        """Number of distinct count vectors."""
+        return len(self._points)
+
+    def bucket_count(self) -> int:
+        """Alias of :attr:`point_count` for size accounting parity with
+        compressed engines (an exact distribution is its own buckets)."""
+        return len(self._points)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def fraction(self, vector: Sequence[int]) -> float:
+        """Exact fraction at ``vector`` (0.0 when absent)."""
+        target = tuple(float(c) for c in vector)
+        for point_vector, mass in self._points:
+            if point_vector == target:
+                return mass
+        return 0.0
+
+    def marginal(self, keep: Sequence[int]) -> "SparseDistribution":
+        """Marginal distribution over the dimensions in ``keep``."""
+        merged = ops.marginalize(self._points, keep)
+        return SparseDistribution(
+            {tuple(int(round(c)) for c in vector): mass for vector, mass in merged}
+        )
+
+    def expected_product(self, dims: Sequence[int]) -> float:
+        """``Σ f(c) · Π_{d in dims} c_d`` — the paper's ΣF term."""
+        return ops.expected_product(self._points, dims)
+
+    def mean(self, dim: int) -> float:
+        """Mass-weighted mean count of one dimension."""
+        return ops.mean(self._points, dim)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SparseDistribution dims={self.dimensions} "
+            f"points={len(self._points)}>"
+        )

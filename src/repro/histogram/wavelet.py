@@ -1,0 +1,147 @@
+"""Haar-wavelet summaries of edge distributions.
+
+The paper names wavelets as the alternative to histograms for compressing
+edge distributions (Sections 3.2–3.3).  This engine performs a standard
+multidimensional Haar decomposition of the (dense) count-grid form of the
+distribution, retains the largest coefficients, and reconstructs a
+non-negative, renormalized distribution on demand.
+
+Count domains are clipped to a per-dimension power-of-two grid (larger
+counts collapse into the top cell, keeping their mass but flattening their
+magnitude); the grid side shrinks with dimensionality to bound the dense
+grid size.  The engine exposes the same ``points()`` interface as the other
+engines, so the estimation framework is oblivious to the change — this is
+what experiment E9 (histogram-engine ablation) exercises.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SynopsisError
+from . import ops
+from .ops import Point
+from .sparse import SparseDistribution
+
+#: Maximum grid side per dimensionality (keeps the dense grid small).
+_MAX_SIDE = {1: 64, 2: 16, 3: 8}
+_DEFAULT_SIDE = 4
+
+
+def _grid_side(max_count: float, dimensions: int) -> int:
+    cap = _MAX_SIDE.get(dimensions, _DEFAULT_SIDE)
+    needed = 2 ** math.ceil(math.log2(max(2.0, max_count + 1)))
+    return min(cap, needed)
+
+
+def _haar_1d(data: np.ndarray, axis: int) -> np.ndarray:
+    """One full 1-D Haar decomposition along ``axis`` (orthonormal)."""
+    data = np.moveaxis(data, axis, 0)
+    length = data.shape[0]
+    output = data.astype(float).copy()
+    span = length
+    while span > 1:
+        half = span // 2
+        evens = output[0:span:2].copy()
+        odds = output[1:span:2].copy()
+        output[:half] = (evens + odds) / math.sqrt(2.0)
+        output[half:span] = (evens - odds) / math.sqrt(2.0)
+        span = half
+    return np.moveaxis(output, 0, axis)
+
+
+def _ihaar_1d(data: np.ndarray, axis: int) -> np.ndarray:
+    """Inverse of :func:`_haar_1d`."""
+    data = np.moveaxis(data, axis, 0)
+    length = data.shape[0]
+    output = data.astype(float).copy()
+    span = 2
+    while span <= length:
+        half = span // 2
+        averages = output[:half].copy()
+        details = output[half:span].copy()
+        output[0:span:2] = (averages + details) / math.sqrt(2.0)
+        output[1:span:2] = (averages - details) / math.sqrt(2.0)
+        span *= 2
+    return np.moveaxis(output, 0, axis)
+
+
+class WaveletHistogram:
+    """Top-coefficient Haar summary of a count distribution.
+
+    Args:
+        source: exact distribution to compress.
+        coefficients: number of wavelet coefficients to retain (≥ 1);
+            plays the role of the bucket budget in size accounting.
+    """
+
+    def __init__(self, source: SparseDistribution, coefficients: int):
+        if coefficients < 1:
+            raise SynopsisError("coefficient budget must be at least 1")
+        self.dimensions = source.dimensions
+        self.budget = coefficients
+
+        source_points = source.points()
+        max_count = max(
+            (max(vector) for vector, _ in source_points), default=1.0
+        )
+        side = _grid_side(max_count, self.dimensions)
+        grid = np.zeros((side,) * self.dimensions)
+        for vector, mass in source_points:
+            cell = tuple(min(side - 1, int(round(c))) for c in vector)
+            grid[cell] += mass
+
+        transformed = grid
+        for axis in range(self.dimensions):
+            transformed = _haar_1d(transformed, axis)
+        flat = transformed.ravel()
+        if coefficients < flat.size:
+            # Keep the largest-magnitude coefficients; zero the rest.
+            threshold_index = np.argsort(np.abs(flat))[:-coefficients]
+            flat = flat.copy()
+            flat[threshold_index] = 0.0
+        self._coefficients = flat.reshape(transformed.shape)
+        self._side = side
+        self._stored = int(np.count_nonzero(self._coefficients))
+        self._points_cache: list[Point] | None = None
+
+    # ------------------------------------------------------------------
+    # the common engine interface
+    # ------------------------------------------------------------------
+    def points(self) -> list[Point]:
+        """Reconstructed (cell vector, mass) points, non-negative, unit mass."""
+        if self._points_cache is None:
+            grid = self._coefficients
+            for axis in reversed(range(self.dimensions)):
+                grid = _ihaar_1d(grid, axis)
+            grid = np.clip(grid, 0.0, None)
+            total = grid.sum()
+            points: list[Point] = []
+            if total > 0:
+                for cell in zip(*np.nonzero(grid)):
+                    vector = tuple(float(c) for c in cell)
+                    points.append((vector, float(grid[cell] / total)))
+            self._points_cache = sorted(points)
+        return list(self._points_cache)
+
+    def bucket_count(self) -> int:
+        """Number of retained non-zero coefficients (≤ budget)."""
+        return max(1, self._stored)
+
+    # ------------------------------------------------------------------
+    def expected_product(self, dims: Sequence[int]) -> float:
+        """``Σ mass · Π c_d`` over the reconstructed distribution."""
+        return ops.expected_product(self.points(), dims)
+
+    def mean(self, dim: int) -> float:
+        """Mass-weighted mean of one dimension of the reconstruction."""
+        return ops.mean(self.points(), dim)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WaveletHistogram dims={self.dimensions} side={self._side} "
+            f"coefficients={self._stored}/{self.budget}>"
+        )

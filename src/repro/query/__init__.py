@@ -1,0 +1,34 @@
+"""Twig queries: AST, parsers, value predicates, and exact evaluation.
+
+Public surface:
+
+* :class:`Step`, :class:`Path`, :class:`TwigNode`, :class:`TwigQuery`,
+  :func:`twig` — the query model;
+* :func:`parse_path`, :func:`parse_for_clause` — string syntaxes;
+* :class:`ValuePredicate` — the ``{σ}`` predicates;
+* :func:`count_bindings`, :func:`enumerate_bindings`, :func:`eval_path`,
+  :func:`path_exists` — exact (ground-truth) evaluation.
+"""
+
+from .ast import CHILD, DESCENDANT, Path, Step, TwigNode, TwigQuery, twig
+from .evaluator import count_bindings, enumerate_bindings, eval_path, path_exists
+from .forclause import parse_for_clause
+from .parser import parse_path
+from .values import ValuePredicate
+
+__all__ = [
+    "CHILD",
+    "DESCENDANT",
+    "Path",
+    "Step",
+    "TwigNode",
+    "TwigQuery",
+    "ValuePredicate",
+    "count_bindings",
+    "enumerate_bindings",
+    "eval_path",
+    "parse_for_clause",
+    "parse_path",
+    "path_exists",
+    "twig",
+]

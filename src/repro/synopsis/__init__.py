@@ -1,0 +1,58 @@
+"""Synopsis substrate: graph summaries, stabilities, TSN, and XSKETCHes.
+
+Public surface:
+
+* :class:`GraphSynopsis`, :func:`label_split_synopsis` — the generic graph
+  summary (paper 3.1);
+* :func:`twig_stable_neighborhood`, :func:`stable_count_edges` — TSNs;
+* :class:`EdgeRef`, :func:`exact_edge_distribution` — edge distributions;
+* :class:`TwigXSketch`, :class:`XSketchConfig` — the full summary model
+  (Definition 3.1) with size accounting in :mod:`repro.synopsis.size`.
+"""
+
+from .distributions import EdgeRef, exact_edge_distribution, mean_child_count
+from .persist import (
+    FrozenGraph,
+    load_sketch,
+    save_sketch,
+    sketch_from_dict,
+    sketch_to_dict,
+)
+from .graph import GraphSynopsis, SynopsisEdge, SynopsisNode, label_split_synopsis
+from .summary import (
+    EdgeHistogram,
+    ExtendedValueSummary,
+    TwigXSketch,
+    ValueSummary,
+    XSketchConfig,
+)
+from .tsn import (
+    TwigStableNeighborhood,
+    bstable_ancestors,
+    stable_count_edges,
+    twig_stable_neighborhood,
+)
+
+__all__ = [
+    "EdgeHistogram",
+    "EdgeRef",
+    "ExtendedValueSummary",
+    "FrozenGraph",
+    "GraphSynopsis",
+    "SynopsisEdge",
+    "SynopsisNode",
+    "TwigStableNeighborhood",
+    "TwigXSketch",
+    "ValueSummary",
+    "XSketchConfig",
+    "bstable_ancestors",
+    "exact_edge_distribution",
+    "label_split_synopsis",
+    "load_sketch",
+    "save_sketch",
+    "sketch_from_dict",
+    "sketch_to_dict",
+    "mean_child_count",
+    "stable_count_edges",
+    "twig_stable_neighborhood",
+]

@@ -1,0 +1,367 @@
+"""The generic graph-synopsis model (paper Section 3.1).
+
+A :class:`GraphSynopsis` partitions the elements of a document tree into
+*synopsis nodes* with a common tag; a synopsis edge ``u → v`` exists when
+some document edge connects an element of ``u``'s extent to an element of
+``v``'s extent.  Each edge stores two counts:
+
+* ``child_count`` — the number of elements of ``v`` whose parent is in ``u``
+  (the paper's ``|u → v|``); since documents are trees, each element has
+  one parent and these counts partition ``|v|`` across incoming edges;
+* ``parent_count`` — the number of elements of ``u`` with at least one child
+  in ``v``.
+
+Stability (Section 3.1) falls out of the counts:
+``u → v`` is Backward-stable iff ``child_count == |v|`` and
+Forward-stable iff ``parent_count == |u|``.
+
+The synopsis keeps the element→node assignment, which construction
+(splitting) and exact edge-distribution computation need; the assignment is
+scaffolding and is *not* charged to the synopsis size budget (see
+:mod:`repro.synopsis.size`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..doc.node import DocumentNode
+from ..doc.tree import DocumentTree
+from ..errors import SynopsisError
+
+
+@dataclass
+class SynopsisNode:
+    """One node of the synopsis: a set of same-tag document elements."""
+
+    node_id: int
+    tag: str
+    extent: list[DocumentNode]
+
+    @property
+    def count(self) -> int:
+        """Extent size — the paper's ``|u|``."""
+        return len(self.extent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SynopsisNode #{self.node_id} {self.tag} |{self.count}|>"
+
+
+@dataclass
+class SynopsisEdge:
+    """One synopsis edge with its counts and derived stabilities."""
+
+    source: int
+    target: int
+    child_count: int
+    parent_count: int
+    source_size: int
+    target_size: int
+
+    @property
+    def backward_stable(self) -> bool:
+        """All elements of the target have a parent in the source."""
+        return self.child_count == self.target_size
+
+    @property
+    def forward_stable(self) -> bool:
+        """All elements of the source have a child in the target."""
+        return self.parent_count == self.source_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = ("B" if self.backward_stable else "") + (
+            "F" if self.forward_stable else ""
+        )
+        return f"<Edge {self.source}->{self.target} {flags or '-'}>"
+
+
+class GraphSynopsis:
+    """A partition of a document's elements plus the induced edge graph.
+
+    Build one with :func:`label_split_synopsis` (the coarsest summary) or
+    :meth:`from_partition`; refine it with :meth:`split_node`.
+    """
+
+    def __init__(self, tree: DocumentTree):
+        self.tree = tree
+        self.nodes: dict[int, SynopsisNode] = {}
+        self.edges: dict[tuple[int, int], SynopsisEdge] = {}
+        # assignment[element.node_id] -> synopsis node id
+        self.assignment: list[int] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partition(
+        cls, tree: DocumentTree, groups: Iterable[list[DocumentNode]]
+    ) -> "GraphSynopsis":
+        """Create a synopsis from an explicit partition of the elements.
+
+        Raises:
+            SynopsisError: if a group mixes tags, or the groups do not
+                exactly cover the document's elements.
+        """
+        synopsis = cls(tree)
+        synopsis.assignment = [-1] * tree.element_count
+        for group in groups:
+            synopsis._add_node(group)
+        uncovered = [i for i, nid in enumerate(synopsis.assignment) if nid < 0]
+        if uncovered:
+            raise SynopsisError(
+                f"partition misses {len(uncovered)} elements "
+                f"(first: id {uncovered[0]})"
+            )
+        synopsis._recompute_all_edges()
+        return synopsis
+
+    def _add_node(self, extent: list[DocumentNode]) -> SynopsisNode:
+        if not extent:
+            raise SynopsisError("synopsis node needs a non-empty extent")
+        tags = {element.tag for element in extent}
+        if len(tags) != 1:
+            raise SynopsisError(f"extent mixes tags: {sorted(tags)}")
+        node = SynopsisNode(self._next_id, tags.pop(), list(extent))
+        self._next_id += 1
+        self.nodes[node.node_id] = node
+        for element in extent:
+            if self.assignment[element.node_id] >= 0:
+                raise SynopsisError(
+                    f"element {element.node_id} assigned to two synopsis nodes"
+                )
+            self.assignment[element.node_id] = node.node_id
+        return node
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def _recompute_all_edges(self) -> None:
+        self.edges = {}
+        counts: dict[tuple[int, int], int] = {}
+        parents: dict[tuple[int, int], set[int]] = {}
+        for parent, child in self.tree.iter_edges():
+            key = (self.assignment[parent.node_id], self.assignment[child.node_id])
+            counts[key] = counts.get(key, 0) + 1
+            parents.setdefault(key, set()).add(parent.node_id)
+        for (source, target), child_count in counts.items():
+            self.edges[(source, target)] = SynopsisEdge(
+                source,
+                target,
+                child_count,
+                len(parents[(source, target)]),
+                self.nodes[source].count,
+                self.nodes[target].count,
+            )
+
+    def _recompute_edges_touching(self, node_ids: set[int]) -> None:
+        """Rebuild edges incident to ``node_ids`` (after a split)."""
+        for key in [k for k in self.edges if k[0] in node_ids or k[1] in node_ids]:
+            del self.edges[key]
+        counts: dict[tuple[int, int], int] = {}
+        parents: dict[tuple[int, int], set[int]] = {}
+
+        def record(parent: DocumentNode, child: DocumentNode) -> None:
+            key = (
+                self.assignment[parent.node_id],
+                self.assignment[child.node_id],
+            )
+            if key[0] in node_ids or key[1] in node_ids:
+                counts[key] = counts.get(key, 0) + 1
+                parents.setdefault(key, set()).add(parent.node_id)
+
+        seen_pairs: set[tuple[int, int]] = set()
+        for node_id in node_ids:
+            for element in self.nodes[node_id].extent:
+                for child in element.children:
+                    pair = (element.node_id, child.node_id)
+                    if pair not in seen_pairs:
+                        seen_pairs.add(pair)
+                        record(element, child)
+                if element.parent is not None:
+                    pair = (element.parent.node_id, element.node_id)
+                    if pair not in seen_pairs:
+                        seen_pairs.add(pair)
+                        record(element.parent, element)
+        for (source, target), child_count in counts.items():
+            self.edges[(source, target)] = SynopsisEdge(
+                source,
+                target,
+                child_count,
+                len(parents[(source, target)]),
+                self.nodes[source].count,
+                self.nodes[target].count,
+            )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> SynopsisNode:
+        """The synopsis node with the given id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise SynopsisError(f"no synopsis node #{node_id}") from None
+
+    def edge(self, source: int, target: int) -> Optional[SynopsisEdge]:
+        """The edge source→target, or None when absent."""
+        return self.edges.get((source, target))
+
+    def node_of(self, element: DocumentNode) -> int:
+        """The synopsis node id containing ``element``."""
+        return self.assignment[element.node_id]
+
+    def children_of(self, node_id: int) -> list[SynopsisEdge]:
+        """Outgoing edges of a synopsis node."""
+        return [edge for key, edge in self.edges.items() if key[0] == node_id]
+
+    def parents_of(self, node_id: int) -> list[SynopsisEdge]:
+        """Incoming edges of a synopsis node."""
+        return [edge for key, edge in self.edges.items() if key[1] == node_id]
+
+    def nodes_with_tag(self, tag: str) -> list[SynopsisNode]:
+        """All synopsis nodes whose elements carry ``tag``."""
+        return [node for node in self.nodes.values() if node.tag == tag]
+
+    def iter_nodes(self) -> Iterator[SynopsisNode]:
+        """All synopsis nodes (insertion order)."""
+        return iter(self.nodes.values())
+
+    @property
+    def node_count(self) -> int:
+        """Number of synopsis nodes."""
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of synopsis edges."""
+        return len(self.edges)
+
+    # ------------------------------------------------------------------
+    # nearest-ancestor lookup (used by backward counts)
+    # ------------------------------------------------------------------
+    def ancestor_in(self, element: DocumentNode, node_id: int) -> Optional[DocumentNode]:
+        """The nearest ancestor of ``element`` lying in node ``node_id``."""
+        for ancestor in element.iter_ancestors():
+            if self.assignment[ancestor.node_id] == node_id:
+                return ancestor
+        return None
+
+    # ------------------------------------------------------------------
+    # refinement support
+    # ------------------------------------------------------------------
+    def split_node(
+        self, node_id: int, part: set[int]
+    ) -> tuple[int, int]:
+        """Split node ``node_id`` into (elements in ``part``, the rest).
+
+        Args:
+            node_id: the node to split.
+            part: document node ids selecting the first piece; must be a
+                proper, non-empty subset of the extent.
+
+        Returns:
+            The ids of the two new synopsis nodes (part first).
+
+        Raises:
+            SynopsisError: when the subset is empty or not proper.
+        """
+        node = self.node(node_id)
+        inside = [e for e in node.extent if e.node_id in part]
+        outside = [e for e in node.extent if e.node_id not in part]
+        if not inside or not outside:
+            raise SynopsisError("split subset must be proper and non-empty")
+        del self.nodes[node_id]
+        first = SynopsisNode(self._next_id, node.tag, inside)
+        self._next_id += 1
+        second = SynopsisNode(self._next_id, node.tag, outside)
+        self._next_id += 1
+        self.nodes[first.node_id] = first
+        self.nodes[second.node_id] = second
+        for element in inside:
+            self.assignment[element.node_id] = first.node_id
+        for element in outside:
+            self.assignment[element.node_id] = second.node_id
+        # Edges touching the old node or its neighborhood must be rebuilt;
+        # include neighbor node ids because their source/target sizes are
+        # unchanged but their counts toward the split parts changed.
+        affected = {first.node_id, second.node_id}
+        affected.update(
+            self.assignment[e.parent.node_id]
+            for e in node.extent
+            if e.parent is not None
+        )
+        affected.update(
+            self.assignment[c.node_id] for e in node.extent for c in e.children
+        )
+        self._recompute_edges_touching(affected)
+        return first.node_id, second.node_id
+
+    def copy(self) -> "GraphSynopsis":
+        """A structural copy sharing the document (cheap enough for XBUILD
+        candidate evaluation: extent lists are copied shallowly)."""
+        duplicate = GraphSynopsis(self.tree)
+        duplicate.assignment = list(self.assignment)
+        duplicate._next_id = self._next_id
+        duplicate.nodes = {
+            node_id: SynopsisNode(node.node_id, node.tag, list(node.extent))
+            for node_id, node in self.nodes.items()
+        }
+        duplicate.edges = {
+            key: SynopsisEdge(
+                edge.source,
+                edge.target,
+                edge.child_count,
+                edge.parent_count,
+                edge.source_size,
+                edge.target_size,
+            )
+            for key, edge in self.edges.items()
+        }
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the partition and edge-count invariants (test support)."""
+        covered = 0
+        for node in self.nodes.values():
+            for element in node.extent:
+                if self.assignment[element.node_id] != node.node_id:
+                    raise SynopsisError(
+                        f"assignment mismatch for element {element.node_id}"
+                    )
+                if element.tag != node.tag:
+                    raise SynopsisError("extent element tag mismatch")
+            covered += node.count
+        if covered != self.tree.element_count:
+            raise SynopsisError(
+                f"partition covers {covered} of {self.tree.element_count} elements"
+            )
+        # Incoming child_counts partition each node's extent (tree data).
+        for node_id, node in self.nodes.items():
+            incoming = sum(e.child_count for e in self.parents_of(node_id))
+            expected = node.count - (
+                1 if self.assignment[self.tree.root.node_id] == node_id else 0
+            )
+            if incoming != expected:
+                raise SynopsisError(
+                    f"incoming counts of node #{node_id} sum to {incoming}, "
+                    f"expected {expected}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GraphSynopsis nodes={self.node_count} edges={self.edge_count}>"
+
+
+def label_split_synopsis(tree: DocumentTree) -> GraphSynopsis:
+    """The coarsest synopsis: one node per distinct tag (paper Figure 3a).
+
+    This is the ``S_0(G)`` starting point of XBUILD and the leftmost point
+    of every error-vs-size curve in Figure 9.
+    """
+    return GraphSynopsis.from_partition(
+        tree, (tree.extent(tag) for tag in tree.tags)
+    )

@@ -1,0 +1,265 @@
+"""Persist Twig XSKETCHes: serialize to JSON, load estimation-ready.
+
+A synopsis is built once (XBUILD over the document) and then consulted by
+every optimizer invocation — usually in a different process.  This module
+serializes exactly the *stored* synopsis (nodes, labelled edges, histogram
+buckets — the content the DESIGN.md size model charges for) and loads it
+back without any document access:
+
+* :func:`save_sketch` / :func:`sketch_to_dict` — TwigXSketch → JSON;
+* :func:`load_sketch` / :func:`sketch_from_dict` — JSON → a
+  :class:`TwigXSketch` whose graph is a :class:`FrozenGraph` (topology,
+  counts, and stabilities only, no extents).
+
+A loaded sketch supports everything estimation needs —
+:class:`~repro.estimation.estimator.TwigEstimator`,
+:class:`~repro.estimation.path_estimator.PathEstimator` — but not
+construction (refinements need extents; they raise on a frozen graph).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..errors import SynopsisError
+from ..histogram.joint import ValueCountHistogram
+from ..histogram.value import NumericValueHistogram, StringValueHistogram
+from .distributions import EdgeRef
+from .graph import SynopsisEdge
+from .summary import (
+    EdgeHistogram,
+    ExtendedValueSummary,
+    TwigXSketch,
+    ValueSummary,
+    XSketchConfig,
+)
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class FrozenNode:
+    """A loaded synopsis node: identity, tag, and extent size only."""
+
+    node_id: int
+    tag: str
+    count: int
+
+
+class FrozenGraph:
+    """The stored part of a graph synopsis (no extents, no document).
+
+    Implements the read API the estimators use; mutation helpers
+    (splitting) raise :class:`SynopsisError`.
+    """
+
+    def __init__(self, nodes: list[FrozenNode], edges: list[SynopsisEdge]):
+        self.nodes: dict[int, FrozenNode] = {n.node_id: n for n in nodes}
+        self.edges: dict[tuple[int, int], SynopsisEdge] = {
+            (e.source, e.target): e for e in edges
+        }
+
+    # -- read API (mirrors GraphSynopsis) -------------------------------
+    def node(self, node_id: int) -> FrozenNode:
+        """The node with the given id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise SynopsisError(f"no synopsis node #{node_id}") from None
+
+    def edge(self, source: int, target: int):
+        """The edge source→target, or None."""
+        return self.edges.get((source, target))
+
+    def children_of(self, node_id: int) -> list[SynopsisEdge]:
+        """Outgoing edges of a node."""
+        return [e for key, e in self.edges.items() if key[0] == node_id]
+
+    def parents_of(self, node_id: int) -> list[SynopsisEdge]:
+        """Incoming edges of a node."""
+        return [e for key, e in self.edges.items() if key[1] == node_id]
+
+    def nodes_with_tag(self, tag: str) -> list[FrozenNode]:
+        """All nodes whose elements carry ``tag``."""
+        return [n for n in self.nodes.values() if n.tag == tag]
+
+    def iter_nodes(self):
+        """All nodes (insertion order)."""
+        return iter(self.nodes.values())
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    # -- mutation is unavailable ----------------------------------------
+    def split_node(self, node_id: int, part):
+        raise SynopsisError(
+            "a loaded synopsis has no extents; refinement requires the "
+            "original document"
+        )
+
+    def copy(self) -> "FrozenGraph":
+        """Frozen graphs are immutable; copy returns self."""
+        return self
+
+
+class _PointsHistogram:
+    """Engine wrapper for loaded edge histograms: just the points."""
+
+    def __init__(self, points):
+        self._points = [(tuple(v), m) for v, m in points]
+
+    def points(self):
+        return list(self._points)
+
+    def bucket_count(self) -> int:
+        return len(self._points)
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def sketch_to_dict(sketch: TwigXSketch) -> dict:
+    """Serialize the stored synopsis content to a JSON-compatible dict."""
+    config = sketch.config
+    return {
+        "version": FORMAT_VERSION,
+        "config": {
+            "engine": config.engine,
+            "store_edge_counts": config.store_edge_counts,
+            "include_backward": config.include_backward,
+            "max_histogram_dims": config.max_histogram_dims,
+        },
+        "nodes": [
+            {"id": n.node_id, "tag": n.tag, "count": n.count}
+            for n in sketch.graph.iter_nodes()
+        ],
+        "edges": [
+            {
+                "source": e.source,
+                "target": e.target,
+                "child_count": e.child_count,
+                "parent_count": e.parent_count,
+                "source_size": e.source_size,
+                "target_size": e.target_size,
+            }
+            for e in sketch.graph.edges.values()
+        ],
+        "edge_histograms": [
+            {
+                "node": node_id,
+                "scope": [[r.source, r.target] for r in h.scope],
+                "budget": h.budget,
+                "points": [[list(v), m] for v, m in h.points()],
+            }
+            for node_id, histograms in sketch.edge_stats.items()
+            for h in histograms
+        ],
+        "value_histograms": [
+            {
+                "node": node_id,
+                "budget": summary.budget,
+                "state": summary.histogram.to_state(),
+            }
+            for node_id, summary in sketch.value_stats.items()
+        ],
+        "extended_histograms": [
+            {
+                "node": node_id,
+                "value_tag": s.value_tag,
+                "scope": [[r.source, r.target] for r in s.scope],
+                "value_budget": s.value_budget,
+                "count_budget": s.count_budget,
+                "state": s.histogram.to_state(),
+            }
+            for node_id, summaries in sketch.extended_stats.items()
+            for s in summaries
+        ],
+    }
+
+
+def sketch_from_dict(payload: dict) -> TwigXSketch:
+    """Load a synopsis serialized by :func:`sketch_to_dict`."""
+    if payload.get("version") != FORMAT_VERSION:
+        raise SynopsisError(
+            f"unsupported synopsis format version {payload.get('version')!r}"
+        )
+    config_data = payload["config"]
+    config = XSketchConfig(
+        engine=config_data["engine"],
+        store_edge_counts=config_data["store_edge_counts"],
+        include_backward=config_data["include_backward"],
+        max_histogram_dims=config_data["max_histogram_dims"],
+    )
+    graph = FrozenGraph(
+        [FrozenNode(n["id"], n["tag"], n["count"]) for n in payload["nodes"]],
+        [
+            SynopsisEdge(
+                e["source"],
+                e["target"],
+                e["child_count"],
+                e["parent_count"],
+                e["source_size"],
+                e["target_size"],
+            )
+            for e in payload["edges"]
+        ],
+    )
+    sketch = TwigXSketch.__new__(TwigXSketch)
+    sketch.graph = graph
+    sketch.config = config
+    sketch.edge_stats = {}
+    sketch.value_stats = {}
+    sketch.extended_stats = {}
+    for entry in payload["edge_histograms"]:
+        histogram = EdgeHistogram(
+            entry["node"],
+            tuple(EdgeRef(s, t) for s, t in entry["scope"]),
+            _PointsHistogram(entry["points"]),
+            entry["budget"],
+        )
+        sketch.edge_stats.setdefault(entry["node"], []).append(histogram)
+    for entry in payload["value_histograms"]:
+        state = entry["state"]
+        engine_cls = (
+            NumericValueHistogram
+            if state["kind"] == "numeric"
+            else StringValueHistogram
+        )
+        sketch.value_stats[entry["node"]] = ValueSummary(
+            entry["node"], engine_cls.from_state(state), entry["budget"]
+        )
+    for entry in payload["extended_histograms"]:
+        summary = ExtendedValueSummary(
+            entry["node"],
+            entry["value_tag"],
+            tuple(EdgeRef(s, t) for s, t in entry["scope"]),
+            ValueCountHistogram.from_state(entry["state"]),
+            entry["value_budget"],
+            entry["count_budget"],
+        )
+        sketch.extended_stats.setdefault(entry["node"], []).append(summary)
+    return sketch
+
+
+def save_sketch(sketch: TwigXSketch, path) -> None:
+    """Write the synopsis to a JSON file."""
+    with open(str(path), "w", encoding="utf8") as handle:
+        json.dump(sketch_to_dict(sketch), handle)
+
+
+def load_sketch(path) -> TwigXSketch:
+    """Load a synopsis from a JSON file written by :func:`save_sketch`."""
+    try:
+        with open(str(path), encoding="utf8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SynopsisError(f"cannot load synopsis from {path}: {exc}") from exc
+    return sketch_from_dict(payload)

@@ -1,0 +1,70 @@
+"""Size accounting for Twig XSKETCH synopses.
+
+The x-axis of every Figure 9 plot is the synopsis storage size.  This
+module defines the byte-cost model (documented in DESIGN.md §5):
+
+* 12 bytes per synopsis node — tag id, extent count, node id;
+* 6 bytes per edge (endpoint ids + stability bits), plus 4 bytes when the
+  configuration stores per-edge child counts;
+* per edge histogram: a header of ``4 + 4·k`` bytes for the scope
+  descriptor (k = dimensionality) and ``4 + 4·k`` bytes per bucket
+  (mass + one centroid coordinate per dimension);
+* per value histogram: an 8-byte header and 16 bytes per bucket (numeric:
+  lo/hi/mass/distinct; string: hashed key/mass).
+
+Extents and the element→node assignment are construction-time scaffolding
+and are *not* part of the stored synopsis.
+"""
+
+from __future__ import annotations
+
+NODE_BYTES = 12
+EDGE_BYTES = 6
+EDGE_COUNT_BYTES = 4
+HISTOGRAM_HEADER_BYTES = 4
+HISTOGRAM_DIM_BYTES = 4
+BUCKET_BASE_BYTES = 4
+BUCKET_DIM_BYTES = 4
+VALUE_HISTOGRAM_HEADER_BYTES = 8
+VALUE_BUCKET_BYTES = 16
+EXTENDED_HEADER_BYTES = 12
+EXTENDED_VALUE_BUCKET_BYTES = 12
+
+
+def edge_histogram_bytes(dimensions: int, buckets: int) -> int:
+    """Stored size of one edge histogram with the given shape."""
+    header = HISTOGRAM_HEADER_BYTES + HISTOGRAM_DIM_BYTES * dimensions
+    per_bucket = BUCKET_BASE_BYTES + BUCKET_DIM_BYTES * dimensions
+    return header + per_bucket * buckets
+
+
+def value_histogram_bytes(buckets: int) -> int:
+    """Stored size of one value histogram with the given bucket count."""
+    return VALUE_HISTOGRAM_HEADER_BYTES + VALUE_BUCKET_BYTES * buckets
+
+
+def extended_histogram_bytes(
+    dimensions: int, value_buckets: int, count_points: int
+) -> int:
+    """Stored size of one extended value histogram ``H^v(V, C1..Ck)``:
+    a header with the value-ref and count-scope descriptor, a range/key
+    record per value bucket, and one centroid record per stored count
+    point (mass + one coordinate per count dimension)."""
+    header = EXTENDED_HEADER_BYTES + HISTOGRAM_DIM_BYTES * dimensions
+    per_point = BUCKET_BASE_BYTES + BUCKET_DIM_BYTES * dimensions
+    return (
+        header
+        + EXTENDED_VALUE_BUCKET_BYTES * value_buckets
+        + per_point * count_points
+    )
+
+
+def graph_bytes(node_count: int, edge_count: int, store_edge_counts: bool) -> int:
+    """Stored size of the bare graph synopsis (nodes + labelled edges)."""
+    per_edge = EDGE_BYTES + (EDGE_COUNT_BYTES if store_edge_counts else 0)
+    return NODE_BYTES * node_count + per_edge * edge_count
+
+
+def as_kb(size_bytes: int) -> float:
+    """Bytes → kilobytes, for reporting against the paper's KB axes."""
+    return size_bytes / 1024.0

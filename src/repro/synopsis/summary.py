@@ -1,0 +1,564 @@
+"""The Twig XSKETCH summary (paper Definition 3.1).
+
+A :class:`TwigXSketch` is a graph synopsis whose edges carry stability
+labels, plus per-node *edge histograms* approximating edge distributions
+and per-node *value histograms* approximating value distributions.
+
+One generalization over the paper's "one histogram per node" phrasing:
+each node holds a *list* of edge histograms with disjoint scopes.  This is
+needed to express the paper's own initial synopsis ("single-dimensional
+edge-histograms that cover path counts to forward-stable children only" —
+one per F-stable child edge) inside Definition 3.1's model; counts held in
+different histograms of the same node are combined under the Forward
+Independence assumption, exactly as counts outside a single histogram's
+scope would be.  The ``edge-expand`` refinement merges histograms into
+higher-dimensional ones, recovering joint information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..doc.tree import DocumentTree
+from ..errors import SynopsisError
+from ..histogram.centroid import CentroidHistogram
+from ..histogram.value import build_value_histogram
+from ..histogram.wavelet import WaveletHistogram
+from . import size as sizing
+from .distributions import EdgeRef, exact_edge_distribution
+from .graph import GraphSynopsis, label_split_synopsis
+
+ENGINES = ("centroid", "wavelet", "exact")
+
+
+@dataclass(frozen=True)
+class XSketchConfig:
+    """Tuning knobs of a Twig XSKETCH.
+
+    Attributes:
+        engine: histogram engine for edge distributions (:data:`ENGINES`).
+        initial_edge_buckets: bucket budget of the histograms created for
+            a fresh (coarsest or newly split) node.
+        initial_value_buckets: bucket budget of fresh value histograms.
+        store_edge_counts: store per-edge child counts (charged 4 bytes per
+            edge); when False the estimator falls back to stability-based
+            apportioning (ablation E8).
+        include_backward: allow construction to propose backward counts
+            (the paper's measured prototype does not; the full model does).
+        max_histogram_dims: cap on edge-histogram dimensionality.
+    """
+
+    engine: str = "centroid"
+    initial_edge_buckets: int = 2
+    initial_value_buckets: int = 2
+    store_edge_counts: bool = True
+    include_backward: bool = False
+    max_histogram_dims: int = 3
+    #: bucket budgets of extended value histograms created by value-expand
+    extended_value_buckets: int = 6
+    extended_count_buckets: int = 8
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise SynopsisError(f"unknown histogram engine {self.engine!r}")
+
+    @staticmethod
+    def prototype() -> "XSketchConfig":
+        """The paper's measured prototype: forward counts to F-stable
+        children only, single-dimensional value histograms."""
+        return XSketchConfig(include_backward=False)
+
+    @staticmethod
+    def full() -> "XSketchConfig":
+        """The full model: backward counts allowed during construction."""
+        return XSketchConfig(include_backward=True)
+
+
+@dataclass
+class EdgeHistogram:
+    """One stored edge histogram: a scope and a compression engine."""
+
+    node_id: int
+    scope: tuple[EdgeRef, ...]
+    engine: object
+    budget: int
+
+    @property
+    def dimensions(self) -> int:
+        """Number of count dimensions (== len(scope))."""
+        return len(self.scope)
+
+    def points(self):
+        """Delegate to the engine: (count vector, mass) representatives."""
+        return self.engine.points()
+
+    def bucket_count(self) -> int:
+        """Stored buckets/coefficients (≤ budget)."""
+        return self.engine.bucket_count()
+
+    def index_of(self, ref: EdgeRef) -> Optional[int]:
+        """Dimension index of ``ref`` in this histogram, or None."""
+        try:
+            return self.scope.index(ref)
+        except ValueError:
+            return None
+
+    def size_bytes(self) -> int:
+        """Stored size under the DESIGN.md cost model."""
+        return sizing.edge_histogram_bytes(self.dimensions, self.bucket_count())
+
+
+@dataclass
+class ValueSummary:
+    """One stored value histogram plus its budget."""
+
+    node_id: int
+    histogram: object
+    budget: int
+
+    def size_bytes(self) -> int:
+        """Stored size under the DESIGN.md cost model."""
+        return sizing.value_histogram_bytes(self.histogram.bucket_count())
+
+
+@dataclass
+class ExtendedValueSummary:
+    """One extended value histogram ``H^v(V, C1..Ck)`` (paper §3.2, end).
+
+    Attributes:
+        node_id: the synopsis node whose elements are summarized.
+        value_tag: where the value dimension comes from — ``None`` for the
+            element's own value, or the tag of the (first) child carrying
+            the value (e.g. a movie's ``type`` child).  Referencing the
+            source by tag keeps the summary meaningful across structural
+            splits of the value-carrying node.
+        scope: the count dimensions (forward EdgeRefs at ``node_id``).
+        histogram: a :class:`~repro.histogram.joint.ValueCountHistogram`.
+    """
+
+    node_id: int
+    value_tag: Optional[str]
+    scope: tuple[EdgeRef, ...]
+    histogram: object
+    value_budget: int
+    count_budget: int
+
+    def size_bytes(self) -> int:
+        """Stored size under the DESIGN.md cost model."""
+        return sizing.extended_histogram_bytes(
+            len(self.scope),
+            self.histogram.bucket_count(),
+            self.histogram.count_point_total(),
+        )
+
+
+class TwigXSketch:
+    """Graph synopsis + stabilities + edge/value histograms.
+
+    Create with :meth:`coarsest` and refine through the operations in
+    :mod:`repro.build`; estimate twig selectivities with
+    :class:`repro.estimation.estimator.TwigEstimator`.
+    """
+
+    def __init__(self, graph: GraphSynopsis, config: XSketchConfig):
+        self.graph = graph
+        self.config = config
+        self.edge_stats: dict[int, list[EdgeHistogram]] = {}
+        self.value_stats: dict[int, ValueSummary] = {}
+        self.extended_stats: dict[int, list[ExtendedValueSummary]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def coarsest(
+        cls, tree: DocumentTree, config: Optional[XSketchConfig] = None
+    ) -> "TwigXSketch":
+        """The label-split synopsis ``S_0(G)`` with the paper's initial
+        statistics: one 1-D edge histogram per F-stable child edge, plus a
+        small value histogram per valued node."""
+        sketch = cls(label_split_synopsis(tree), config or XSketchConfig())
+        for node in sketch.graph.iter_nodes():
+            sketch.install_default_stats(node.node_id)
+        return sketch
+
+    def install_default_stats(
+        self,
+        node_id: int,
+        edge_buckets: Optional[int] = None,
+        value_buckets: Optional[int] = None,
+    ) -> None:
+        """(Re)install the fresh-node statistics for ``node_id``.
+
+        Bucket budgets default to the configuration's initial values; a
+        node created by splitting inherits its parent's budgets so earlier
+        edge-refine / value-refine work survives structural refinements.
+        """
+        edge_buckets = edge_buckets or self.config.initial_edge_buckets
+        value_buckets = value_buckets or self.config.initial_value_buckets
+        histograms: list[EdgeHistogram] = []
+        for edge in self.graph.children_of(node_id):
+            if edge.forward_stable:
+                histograms.append(
+                    self.make_edge_histogram(
+                        node_id,
+                        (EdgeRef(node_id, edge.target),),
+                        edge_buckets,
+                    )
+                )
+        if histograms:
+            self.edge_stats[node_id] = histograms
+        else:
+            self.edge_stats.pop(node_id, None)
+        summary = self.make_value_summary(node_id, value_buckets)
+        if summary is not None:
+            self.value_stats[node_id] = summary
+        else:
+            self.value_stats.pop(node_id, None)
+
+    def make_edge_histogram(
+        self, node_id: int, scope: Sequence[EdgeRef], buckets: int
+    ) -> EdgeHistogram:
+        """Build a histogram over ``scope`` from the exact distribution."""
+        if len(scope) > self.config.max_histogram_dims:
+            raise SynopsisError(
+                f"scope of {len(scope)} dims exceeds the configured cap "
+                f"of {self.config.max_histogram_dims}"
+            )
+        exact = exact_edge_distribution(self.graph, node_id, scope)
+        engine: object
+        if self.config.engine == "exact":
+            engine = exact
+        elif self.config.engine == "wavelet":
+            engine = WaveletHistogram(exact, buckets)
+        else:
+            engine = CentroidHistogram(exact, buckets)
+        return EdgeHistogram(node_id, tuple(scope), engine, buckets)
+
+    def make_extended_summary(
+        self,
+        node_id: int,
+        value_tag: Optional[str],
+        scope: Sequence[EdgeRef],
+        value_buckets: int,
+        count_buckets: int,
+    ) -> ExtendedValueSummary:
+        """Build an extended value histogram ``H^v(V, C1..Ck)``.
+
+        The value observation per element is its own value
+        (``value_tag=None``) or the value of its *first* child tagged
+        ``value_tag`` — well-defined for the single-occurrence children
+        (``type``, ``year``) these summaries target.
+
+        Raises:
+            SynopsisError: for an empty scope, a missing edge, or a scope
+                exceeding the dimensionality cap.
+        """
+        from ..histogram.joint import ValueCountHistogram
+
+        scope = tuple(scope)
+        if not scope:
+            raise SynopsisError("extended summary needs count dimensions")
+        if len(scope) > self.config.max_histogram_dims:
+            raise SynopsisError(
+                f"scope of {len(scope)} dims exceeds the configured cap"
+            )
+        for ref in scope:
+            if self.graph.edge(ref.source, ref.target) is None:
+                raise SynopsisError(
+                    f"extended summary references missing edge "
+                    f"{ref.source}->{ref.target}"
+                )
+
+        observations = []
+        for element in self.graph.node(node_id).extent:
+            tally: dict[int, int] = {}
+            value = element.value if value_tag is None else None
+            for child in element.children:
+                child_node = self.graph.node_of(child)
+                tally[child_node] = tally.get(child_node, 0) + 1
+                if value_tag is not None and value is None and child.tag == value_tag:
+                    value = child.value
+            counts = tuple(tally.get(ref.target, 0) for ref in scope)
+            observations.append((value, counts))
+        histogram = ValueCountHistogram(observations, value_buckets, count_buckets)
+        return ExtendedValueSummary(
+            node_id, value_tag, scope, histogram, value_buckets, count_buckets
+        )
+
+    def extended_at(self, node_id: int) -> list[ExtendedValueSummary]:
+        """The extended value summaries stored for ``node_id``."""
+        return self.extended_stats.get(node_id, [])
+
+    def make_value_summary(
+        self, node_id: int, buckets: int
+    ) -> Optional[ValueSummary]:
+        """Build a value histogram for ``node_id``; None when valueless."""
+        values = [
+            element.value
+            for element in self.graph.node(node_id).extent
+            if element.value is not None
+        ]
+        if not values:
+            return None
+        return ValueSummary(node_id, build_value_histogram(values, buckets), buckets)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def histograms_at(self, node_id: int) -> list[EdgeHistogram]:
+        """The edge histograms stored for ``node_id`` (possibly empty)."""
+        return self.edge_stats.get(node_id, [])
+
+    def value_summary(self, node_id: int) -> Optional[ValueSummary]:
+        """The value histogram stored for ``node_id``, if any."""
+        return self.value_stats.get(node_id)
+
+    def covered_edges(self, node_id: int) -> set[EdgeRef]:
+        """Union of the scopes of the node's histograms."""
+        refs: set[EdgeRef] = set()
+        for histogram in self.histograms_at(node_id):
+            refs.update(histogram.scope)
+        return refs
+
+    def edge_child_count(self, source: int, target: int) -> float:
+        """Estimate of ``|n_source → n_target|``.
+
+        Uses the stored per-edge count when the configuration allows it;
+        otherwise falls back to stability: a B-stable edge contributes the
+        whole target extent, an unstable edge apportions the target extent
+        across its incoming edges proportionally to source sizes.
+        """
+        edge = self.graph.edge(source, target)
+        if edge is None:
+            return 0.0
+        if self.config.store_edge_counts:
+            return float(edge.child_count)
+        target_size = self.graph.node(target).count
+        if edge.backward_stable:
+            return float(target_size)
+        incoming = self.graph.parents_of(target)
+        total_source = sum(self.graph.node(e.source).count for e in incoming)
+        if total_source <= 0:
+            return 0.0
+        return target_size * self.graph.node(source).count / total_source
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Stored size of the synopsis under the DESIGN.md cost model."""
+        total = sizing.graph_bytes(
+            self.graph.node_count,
+            self.graph.edge_count,
+            self.config.store_edge_counts,
+        )
+        for histograms in self.edge_stats.values():
+            total += sum(h.size_bytes() for h in histograms)
+        for summary in self.value_stats.values():
+            total += summary.size_bytes()
+        for summaries in self.extended_stats.values():
+            total += sum(s.size_bytes() for s in summaries)
+        return total
+
+    def size_kb(self) -> float:
+        """Stored size in kilobytes (the Figure 9 x-axis)."""
+        return sizing.as_kb(self.size_bytes())
+
+    # ------------------------------------------------------------------
+    # refinement support
+    # ------------------------------------------------------------------
+    def copy(self) -> "TwigXSketch":
+        """Independent copy; histogram engines (immutable) are shared."""
+        duplicate = TwigXSketch(self.graph.copy(), self.config)
+        duplicate.edge_stats = {
+            node_id: list(histograms)
+            for node_id, histograms in self.edge_stats.items()
+        }
+        duplicate.value_stats = dict(self.value_stats)
+        duplicate.extended_stats = {
+            node_id: list(summaries)
+            for node_id, summaries in self.extended_stats.items()
+        }
+        return duplicate
+
+    def split_node(self, node_id: int, part: set[int]) -> tuple[int, int]:
+        """Split a node and migrate statistics.
+
+        The two new nodes get fresh default statistics; histograms at other
+        nodes whose scope references an edge incident to the split node are
+        rebuilt with a remapped scope (same budget).
+
+        Returns the two new node ids.
+        """
+        stale_refs_by_node = self._scopes_mentioning(node_id)
+        old_histograms = self.edge_stats.get(node_id, [])
+        inherited_edge_buckets = max(
+            (h.budget for h in old_histograms),
+            default=self.config.initial_edge_buckets,
+        )
+        old_value = self.value_stats.get(node_id)
+        inherited_value_buckets = (
+            old_value.budget if old_value is not None
+            else self.config.initial_value_buckets
+        )
+        own_extended = self.extended_stats.get(node_id, [])
+        first, second = self.graph.split_node(node_id, part)
+        self.edge_stats.pop(node_id, None)
+        self.value_stats.pop(node_id, None)
+        self.extended_stats.pop(node_id, None)
+        # Extended summaries at other nodes referencing the split node are
+        # dropped (construction re-proposes them when still valuable).
+        for other_id in list(self.extended_stats):
+            kept = [
+                summary
+                for summary in self.extended_stats[other_id]
+                if not any(
+                    ref.source == node_id or ref.target == node_id
+                    for ref in summary.scope
+                )
+            ]
+            if kept:
+                self.extended_stats[other_id] = kept
+            else:
+                del self.extended_stats[other_id]
+        self.install_default_stats(
+            first, inherited_edge_buckets, inherited_value_buckets
+        )
+        self.install_default_stats(
+            second, inherited_edge_buckets, inherited_value_buckets
+        )
+        # The split node's own extended summaries are rebuilt per part
+        # (remapping the count scope to the edges each part retains), so
+        # value-expand work survives structural refinement.
+        for part_id in (first, second):
+            rebuilt: list[ExtendedValueSummary] = []
+            for summary in own_extended:
+                scope = tuple(
+                    EdgeRef(part_id, ref.target)
+                    for ref in summary.scope
+                    if self.graph.edge(part_id, ref.target) is not None
+                )
+                if not scope:
+                    continue
+                rebuilt.append(
+                    self.make_extended_summary(
+                        part_id,
+                        summary.value_tag,
+                        scope,
+                        summary.value_budget,
+                        summary.count_budget,
+                    )
+                )
+            if rebuilt:
+                self.extended_stats[part_id] = rebuilt
+        for other_id, histograms in stale_refs_by_node.items():
+            if other_id == node_id or other_id not in self.edge_stats:
+                continue
+            rebuilt: list[EdgeHistogram] = []
+            for histogram in self.edge_stats[other_id]:
+                if histogram in histograms:
+                    remapped = self._remap_scope(
+                        other_id, histogram.scope, node_id, (first, second)
+                    )
+                    if remapped:
+                        rebuilt.append(
+                            self.make_edge_histogram(
+                                other_id, remapped, histogram.budget
+                            )
+                        )
+                else:
+                    rebuilt.append(histogram)
+            if rebuilt:
+                self.edge_stats[other_id] = rebuilt
+            else:
+                self.edge_stats.pop(other_id, None)
+        return first, second
+
+    def _scopes_mentioning(self, node_id: int) -> dict[int, list[EdgeHistogram]]:
+        stale: dict[int, list[EdgeHistogram]] = {}
+        for other_id, histograms in self.edge_stats.items():
+            touched = [
+                h
+                for h in histograms
+                if any(r.source == node_id or r.target == node_id for r in h.scope)
+            ]
+            if touched:
+                stale[other_id] = touched
+        return stale
+
+    def _remap_scope(
+        self,
+        node_id: int,
+        scope: tuple[EdgeRef, ...],
+        old_id: int,
+        new_ids: tuple[int, int],
+    ) -> tuple[EdgeRef, ...]:
+        """Replace refs to a split node with refs to its surviving pieces.
+
+        A ref whose *target* was split maps to the piece(s) that still form
+        an edge with the source, preferring the piece with the larger child
+        count when the dimensionality cap forbids keeping both.  A ref
+        whose *source* (anchor) was split is dropped — the anchor identity
+        is ambiguous after the split and the construction algorithm will
+        re-propose it if still valuable.
+        """
+        remapped: list[EdgeRef] = []
+        for ref in scope:
+            if ref.source == old_id:
+                continue
+            if ref.target != old_id:
+                if self.graph.edge(ref.source, ref.target) is not None:
+                    remapped.append(ref)
+                continue
+            candidates = [
+                EdgeRef(ref.source, new_id)
+                for new_id in new_ids
+                if self.graph.edge(ref.source, new_id) is not None
+            ]
+            candidates.sort(
+                key=lambda r: self.graph.edge(r.source, r.target).child_count,
+                reverse=True,
+            )
+            room = self.config.max_histogram_dims - len(remapped) - (
+                len(scope) - scope.index(ref) - 1
+            )
+            remapped.extend(candidates[: max(1, room)])
+        deduped = tuple(dict.fromkeys(remapped))
+        return deduped[: self.config.max_histogram_dims]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural invariants: graph is valid, stats reference live
+        nodes and existing edges."""
+        self.graph.validate()
+        for node_id, histograms in self.edge_stats.items():
+            if node_id not in self.graph.nodes:
+                raise SynopsisError(f"stats for dead node #{node_id}")
+            for histogram in histograms:
+                for ref in histogram.scope:
+                    if self.graph.edge(ref.source, ref.target) is None:
+                        raise SynopsisError(
+                            f"histogram at #{node_id} references missing edge "
+                            f"{ref.source}->{ref.target}"
+                        )
+        for node_id in self.value_stats:
+            if node_id not in self.graph.nodes:
+                raise SynopsisError(f"value stats for dead node #{node_id}")
+        for node_id, summaries in self.extended_stats.items():
+            if node_id not in self.graph.nodes:
+                raise SynopsisError(f"extended stats for dead node #{node_id}")
+            for summary in summaries:
+                for ref in summary.scope:
+                    if self.graph.edge(ref.source, ref.target) is None:
+                        raise SynopsisError(
+                            f"extended summary at #{node_id} references "
+                            f"missing edge {ref.source}->{ref.target}"
+                        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TwigXSketch nodes={self.graph.node_count} "
+            f"edges={self.graph.edge_count} size={self.size_kb():.1f}KB>"
+        )

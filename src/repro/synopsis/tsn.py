@@ -1,0 +1,82 @@
+"""Twig Stable Neighborhoods (paper Section 3.2).
+
+``TSN(n)`` is the set of synopsis nodes that either (a) reach ``n`` through
+a Backward-stable path (including ``n`` itself), or (b) are reached from a
+node of (a) through a Forward-stable path of length 1.  Every element of
+``n`` is guaranteed to be part of a document twig covering all TSN nodes,
+which is what makes edge counts over TSN edges well-defined for *all*
+elements of ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import GraphSynopsis
+
+
+def bstable_ancestors(synopsis: GraphSynopsis, node_id: int) -> set[int]:
+    """Nodes reaching ``node_id`` via a (possibly empty) B-stable path.
+
+    Includes ``node_id`` itself.  Handles cyclic synopsis graphs (recursive
+    tags) via a visited set.
+    """
+    reached = {node_id}
+    frontier = [node_id]
+    while frontier:
+        current = frontier.pop()
+        for edge in synopsis.parents_of(current):
+            if edge.backward_stable and edge.source not in reached:
+                reached.add(edge.source)
+                frontier.append(edge.source)
+    return reached
+
+
+@dataclass(frozen=True)
+class TwigStableNeighborhood:
+    """The TSN of one synopsis node.
+
+    Attributes:
+        node_id: the node whose neighborhood this is.
+        anchors: the (a) set — B-stable-path ancestors, including the node.
+        members: anchors plus their F-stable children (the full TSN).
+    """
+
+    node_id: int
+    anchors: frozenset[int]
+    members: frozenset[int]
+
+
+def twig_stable_neighborhood(
+    synopsis: GraphSynopsis, node_id: int
+) -> TwigStableNeighborhood:
+    """Compute ``TSN(node_id)`` over the synopsis."""
+    anchors = bstable_ancestors(synopsis, node_id)
+    members = set(anchors)
+    for anchor in anchors:
+        for edge in synopsis.children_of(anchor):
+            if edge.forward_stable:
+                members.add(edge.target)
+    return TwigStableNeighborhood(
+        node_id, frozenset(anchors), frozenset(members)
+    )
+
+
+def stable_count_edges(
+    synopsis: GraphSynopsis, node_id: int
+) -> list[tuple[int, int]]:
+    """All (source, target) edges usable as count dimensions at ``node_id``.
+
+    These are the edges contained entirely within TSN(node_id) that start
+    at an anchor and are Forward-stable — a forward count when the source
+    is ``node_id`` itself, a backward count otherwise.  F-stability of the
+    edge guarantees a positive count for every element, and B-stability of
+    the anchor path guarantees the referenced ancestor exists.
+    """
+    tsn = twig_stable_neighborhood(synopsis, node_id)
+    usable: list[tuple[int, int]] = []
+    for anchor in sorted(tsn.anchors):
+        for edge in synopsis.children_of(anchor):
+            if edge.forward_stable and edge.target in tsn.members:
+                usable.append((edge.source, edge.target))
+    return usable

@@ -1,0 +1,22 @@
+"""Workloads and the evaluation metric (paper Section 6.1).
+
+* :class:`WorkloadGenerator`, :class:`WorkloadSpec` — positive/negative
+  twig workloads (P and P+V variants);
+* :class:`Workload`, :class:`WorkloadQuery` — generated workloads with
+  exact selectivities and Table 2 statistics;
+* :func:`average_relative_error`, :func:`sanity_bound` — the error metric
+  with the 10th-percentile sanity bound.
+"""
+
+from .generator import Workload, WorkloadGenerator, WorkloadQuery, WorkloadSpec
+from .metrics import average_relative_error, relative_error, sanity_bound
+
+__all__ = [
+    "Workload",
+    "WorkloadGenerator",
+    "WorkloadQuery",
+    "WorkloadSpec",
+    "average_relative_error",
+    "relative_error",
+    "sanity_bound",
+]

@@ -1,0 +1,78 @@
+"""The paper's evaluation metric (Section 6.1 "Evaluation Metric").
+
+Accuracy is the average *absolute relative error* with a sanity bound:
+for a query with true count ``c`` and estimate ``r``, the error is
+``|r − c| / max(s, c)`` where the sanity bound ``s`` is the 10th percentile
+of the workload's true counts.  The bound avoids artificially high
+percentages on low-count queries and makes the metric well-defined for
+negative queries (``c = 0``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import WorkloadError
+
+#: The paper sets s to the 10th percentile of true query counts.
+SANITY_PERCENTILE = 10.0
+
+
+def sanity_bound(
+    true_counts: Sequence[float], percentile: float = SANITY_PERCENTILE
+) -> float:
+    """The ``s`` of the error metric: the given percentile of true counts.
+
+    Zero counts (negative queries) are excluded from the percentile so the
+    bound stays meaningful on mixed workloads; an all-zero workload gets a
+    bound of 1.
+    """
+    positive = sorted(c for c in true_counts if c > 0)
+    if not positive:
+        return 1.0
+    rank = max(0, min(len(positive) - 1, math.ceil(percentile / 100.0 * len(positive)) - 1))
+    return float(positive[rank])
+
+
+def relative_error(estimate: float, true_count: float, bound: float) -> float:
+    """``|r − c| / max(s, c)`` for one query."""
+    if bound <= 0:
+        raise WorkloadError("sanity bound must be positive")
+    return abs(estimate - true_count) / max(bound, true_count)
+
+
+def average_relative_error(
+    estimates: Sequence[float],
+    true_counts: Sequence[float],
+    percentile: float = SANITY_PERCENTILE,
+    exclude_above: float | None = None,
+) -> float:
+    """Workload-average absolute relative error.
+
+    Args:
+        estimates: one estimate per query.
+        true_counts: the exact selectivities, same order.
+        percentile: sanity-bound percentile (paper: 10).
+        exclude_above: when given, per-query errors above this value are
+            dropped before averaging — the paper does exactly this for the
+            CST outliers (">1000%") in Figure 9(c).
+
+    Raises:
+        WorkloadError: on length mismatch or empty input.
+    """
+    if len(estimates) != len(true_counts):
+        raise WorkloadError(
+            f"{len(estimates)} estimates vs {len(true_counts)} true counts"
+        )
+    if not estimates:
+        raise WorkloadError("cannot average over an empty workload")
+    bound = sanity_bound(true_counts, percentile)
+    errors = [
+        relative_error(estimate, truth, bound)
+        for estimate, truth in zip(estimates, true_counts)
+    ]
+    if exclude_above is not None:
+        kept = [error for error in errors if error <= exclude_above]
+        errors = kept or errors  # never average over nothing
+    return sum(errors) / len(errors)

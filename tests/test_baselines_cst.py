@@ -1,0 +1,140 @@
+"""Tests for the CST baseline (suffix trie + maximal-overlap estimation)."""
+
+import pytest
+
+from repro.baselines import TRIE_NODE_BYTES, CorrelatedSuffixTree, CSTEstimator, PathTrie
+from repro.datasets import figure1_document, generate_imdb
+from repro.errors import EstimationError
+from repro.query import count_bindings, parse_for_clause, parse_path, twig
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_document()
+
+
+@pytest.fixture(scope="module")
+def trie(fig1):
+    return PathTrie.from_document(fig1)
+
+
+class TestPathTrie:
+    def test_counts_full_paths(self, trie):
+        assert trie.count(("bib", "author")) == 3
+        assert trie.count(("bib", "author", "paper")) == 4
+
+    def test_counts_suffixes(self, trie):
+        # titles occur under both paper and book
+        assert trie.count(("title",)) == 6
+        assert trie.count(("paper", "title")) == 4
+        assert trie.count(("book", "title")) == 2
+
+    def test_missing_path_is_zero(self, trie):
+        assert trie.count(("movie",)) == 0.0
+        assert trie.count(("book", "keyword")) == 0.0
+
+    def test_size_accounting(self, trie):
+        assert trie.size_bytes() == trie.node_count * TRIE_NODE_BYTES
+
+    def test_max_suffix_limits_depth(self, fig1):
+        shallow = PathTrie.from_document(fig1, max_suffix=2)
+        assert shallow.count(("bib", "author", "paper")) is None or (
+            shallow.count(("bib", "author", "paper")) == 0.0
+        )
+        assert shallow.count(("author", "paper")) == 4
+
+    def test_pruning_reduces_size(self, fig1):
+        full = PathTrie.from_document(fig1)
+        pruned = PathTrie.from_document(fig1)
+        pruned.prune_to_bytes(full.size_bytes() // 2)
+        assert pruned.size_bytes() <= full.size_bytes() // 2
+        assert pruned.node_count >= 1
+
+    def test_pruned_lookup_falls_back_to_none(self, fig1):
+        pruned = PathTrie.from_document(fig1)
+        pruned.prune_to_bytes(5 * TRIE_NODE_BYTES)
+        # deep lookups must signal "unknown" (None), not a hard zero
+        deep = pruned.count(("bib", "author", "paper", "keyword"))
+        assert deep is None or deep >= 0
+
+
+class TestCSTPathCount:
+    def test_exact_when_unpruned(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        assert summary.path_count(("bib", "author", "paper")) == 4
+        assert summary.path_count(("book", "title")) == 2
+
+    def test_markov_fallback_when_pruned(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=30 * TRIE_NODE_BYTES)
+        estimate = summary.path_count(("bib", "author", "paper", "keyword"))
+        assert estimate >= 0  # composed from shorter suffixes
+
+    def test_conditional_count(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        # 4 papers over 3 authors
+        assert summary.conditional_count(("author",), "paper") == pytest.approx(4 / 3)
+
+    def test_empty_sequence(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        assert summary.path_count(()) == 0.0
+
+
+class TestCSTEstimator:
+    def test_single_path_query(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        estimator = CSTEstimator(summary)
+        query = twig(parse_path("author/paper/title"))
+        assert estimator.estimate(query) == pytest.approx(4.0)
+
+    def test_twig_with_independence(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        estimator = CSTEstimator(summary)
+        query = parse_for_clause(
+            "for a in author, n in a/name, p in a/paper"
+        )
+        # independence: 3 authors x (3/3 names) x (4/3 papers) = 4
+        assert estimator.estimate(query) == pytest.approx(4.0)
+        assert count_bindings(query, fig1) == 4
+
+    def test_branch_predicate(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        estimator = CSTEstimator(summary)
+        query = twig(parse_path("author[book]"))
+        # expected books per author = 2/3, clamped as existence prob
+        assert estimator.estimate(query) == pytest.approx(2.0)
+
+    def test_zero_for_missing_structure(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        estimator = CSTEstimator(summary)
+        assert estimator.estimate(twig(parse_path("movie"))) == 0.0
+        query = parse_for_clause("for b in book, k in b/keyword")
+        assert estimator.estimate(query) == 0.0
+
+    def test_descendant_rejected(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        estimator = CSTEstimator(summary)
+        with pytest.raises(EstimationError):
+            estimator.estimate(twig(parse_path("//title")))
+
+    def test_value_predicate_rejected(self, fig1):
+        summary = CorrelatedSuffixTree.build(fig1, budget_bytes=10_000)
+        estimator = CSTEstimator(summary)
+        with pytest.raises(EstimationError):
+            estimator.estimate(twig(parse_path("year{>2000}")))
+
+
+class TestCSTOnCorrelatedData:
+    def test_degrades_on_correlated_twigs(self):
+        """The correlated actor/producer counts hurt the independence-based
+        CST more than a factor-2 error on genre-conditioned twigs."""
+        tree = generate_imdb(5000, seed=2)
+        summary = CorrelatedSuffixTree.build(tree, budget_bytes=100_000)
+        estimator = CSTEstimator(summary)
+        query = parse_for_clause(
+            "for m in movie[narrator], a in m/actor, k in m/keyword"
+        )
+        truth = count_bindings(query, tree)
+        estimate = estimator.estimate(query)
+        assert truth > 0
+        ratio = estimate / truth
+        assert ratio > 2.0 or ratio < 0.5

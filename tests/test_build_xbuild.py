@@ -1,0 +1,177 @@
+"""Tests for candidate sampling, oracles, and the XBUILD loop."""
+
+import random
+
+import pytest
+
+from repro.build import (
+    ExactOracle,
+    SketchOracle,
+    XBuild,
+    build_reference_sketch,
+    generate_candidates,
+    xbuild,
+)
+from repro.build.sampling import RegionSampler
+from repro.datasets import generate_imdb
+from repro.estimation import TwigEstimator
+from repro.query import count_bindings
+from repro.synopsis import TwigXSketch, XSketchConfig
+from repro.workload import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    average_relative_error,
+)
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return generate_imdb(5000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def coarse(imdb):
+    return TwigXSketch.coarsest(imdb)
+
+
+class TestCandidates:
+    def test_candidates_generated(self, coarse):
+        candidates = generate_candidates(coarse, random.Random(1))
+        assert candidates
+        kinds = {type(c).__name__ for c in candidates}
+        assert kinds & {"BStabilize", "FStabilize", "EdgeRefine", "EdgeExpand",
+                        "ValueRefine"}
+
+    def test_candidates_deduplicated(self, coarse):
+        candidates = generate_candidates(coarse, random.Random(2))
+        assert len(candidates) == len(set(candidates))
+
+    def test_max_candidates_respected(self, coarse):
+        candidates = generate_candidates(
+            coarse, random.Random(3), max_candidates=4
+        )
+        assert len(candidates) <= 4
+
+    def test_all_candidates_applicable(self, coarse):
+        for candidate in generate_candidates(coarse, random.Random(4)):
+            refined = candidate.apply(coarse)
+            refined.validate()
+
+    def test_backward_expansion_gated_by_config(self, imdb):
+        forward_only = TwigXSketch.coarsest(imdb, XSketchConfig())
+        full = TwigXSketch.coarsest(imdb, XSketchConfig.full())
+
+        def backward_expansions(sketch):
+            rng = random.Random(5)
+            out = []
+            for _ in range(10):
+                for candidate in generate_candidates(sketch, rng):
+                    if type(candidate).__name__ == "EdgeExpand":
+                        if candidate.new_ref.source != candidate.node_id:
+                            out.append(candidate)
+            return out
+
+        assert not backward_expansions(forward_only)
+        assert backward_expansions(full)
+
+
+class TestRegionSampler:
+    def test_samples_touch_region(self, imdb, coarse):
+        sampler = RegionSampler(imdb, random.Random(6))
+        movie = coarse.graph.nodes_with_tag("movie")[0].node_id
+        queries = sampler.sample_for_regions(coarse, {movie}, queries=8)
+        assert queries
+        for query in queries:
+            assert count_bindings(query, imdb) > 0
+
+    def test_empty_region_is_empty(self, imdb, coarse):
+        sampler = RegionSampler(imdb, random.Random(7))
+        assert sampler.sample_for_regions(coarse, {99_999}, queries=4) == []
+
+
+class TestOracles:
+    def test_exact_oracle_counts(self, imdb):
+        oracle = ExactOracle(imdb)
+        generator = WorkloadGenerator(imdb, WorkloadSpec(seed=8))
+        workload = generator.positive_workload(5)
+        for entry in workload.queries:
+            assert oracle.true_count(entry.query) == entry.true_count
+
+    def test_exact_oracle_caches(self, imdb):
+        oracle = ExactOracle(imdb)
+        generator = WorkloadGenerator(imdb, WorkloadSpec(seed=9))
+        (entry,) = generator.positive_workload(1).queries
+        first = oracle.true_count(entry.query)
+        assert oracle.true_count(entry.query) == first
+        assert len(oracle._cache) == 1
+
+    def test_sketch_oracle_better_than_coarsest(self, imdb, coarse):
+        """The reference summary approximates truths with much lower error
+        than the coarsest synopsis (branch-correlated twigs remain its
+        weak spot; XBUILD's default oracle is ExactOracle)."""
+        oracle = SketchOracle(imdb)
+        generator = WorkloadGenerator(imdb, WorkloadSpec(seed=10))
+        workload = generator.positive_workload(25)
+        truths = workload.true_counts()
+        reference_estimates = [oracle.true_count(e.query) for e in workload.queries]
+        coarse_estimator = TwigEstimator(coarse)
+        coarse_estimates = [
+            coarse_estimator.estimate(e.query) for e in workload.queries
+        ]
+        reference_error = average_relative_error(reference_estimates, truths)
+        coarse_error = average_relative_error(coarse_estimates, truths)
+        assert reference_error < coarse_error
+
+    def test_reference_sketch_has_joint_histograms(self, imdb):
+        reference = build_reference_sketch(imdb)
+        widths = [
+            histogram.dimensions
+            for histograms in reference.edge_stats.values()
+            for histogram in histograms
+        ]
+        assert max(widths) >= 2
+
+
+class TestXBuildLoop:
+    def test_reaches_budget(self, imdb, coarse):
+        budget = coarse.size_bytes() + 2000
+        result = XBuild(imdb, budget, seed=11, sample_queries=6).run()
+        assert result.sketch.size_bytes() >= budget * 0.8
+        assert result.steps
+        result.sketch.validate()
+
+    def test_sizes_monotonically_increase(self, imdb, coarse):
+        result = XBuild(
+            imdb, coarse.size_bytes() + 1500, seed=12, sample_queries=6
+        ).run()
+        sizes = [step.size_bytes for step in result.steps]
+        assert sizes == sorted(sizes)
+
+    def test_error_improves_on_correlated_data(self, imdb, coarse):
+        workload = WorkloadGenerator(imdb, WorkloadSpec(seed=13)).positive_workload(
+            40
+        )
+        truths = workload.true_counts()
+
+        def error_of(sketch):
+            estimator = TwigEstimator(sketch)
+            return average_relative_error(
+                [estimator.estimate(e.query) for e in workload.queries], truths
+            )
+
+        built = xbuild(
+            imdb, coarse.size_bytes() + 3000, seed=14, sample_queries=8
+        )
+        assert error_of(built) < error_of(coarse)
+
+    def test_on_step_callback(self, imdb, coarse):
+        seen = []
+        XBuild(
+            imdb,
+            coarse.size_bytes() + 800,
+            seed=15,
+            sample_queries=5,
+            on_step=lambda sketch: seen.append(sketch.size_bytes()),
+        ).run()
+        assert seen
+        assert seen == sorted(seen)

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.doc import build_tree, write_file
+
+
+@pytest.fixture(scope="module")
+def xml_file(tmp_path_factory):
+    tree = build_tree(
+        (
+            "bib",
+            [
+                (
+                    "author",
+                    [
+                        ("name", "A", []),
+                        ("paper", [("year", 2001, []), "title", "keyword"]),
+                        ("paper", [("year", 1999, []), "title"]),
+                    ],
+                ),
+                ("author", [("name", "B", []), ("paper", [("year", 2003, []), "title"])]),
+            ],
+        )
+    )
+    path = tmp_path_factory.mktemp("cli") / "bib.xml"
+    write_file(tree, path)
+    return str(path)
+
+
+class TestStats:
+    def test_stats_output(self, xml_file, capsys):
+        assert main(["stats", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "elements:" in out
+        assert "coarsest synopsis:" in out
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.xml")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuild:
+    def test_build_reports_inventory(self, xml_file, capsys):
+        assert main(["build", xml_file, "--budget", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "synopsis" in out
+        assert "nodes:" in out
+
+
+class TestEstimate:
+    def test_estimate_with_exact(self, xml_file, capsys):
+        code = main(
+            [
+                "estimate",
+                xml_file,
+                "--query",
+                "for a in author, p in a/paper[year > 2000]",
+                "--budget",
+                "2",
+                "--exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated selectivity:" in out
+        assert "exact selectivity:" in out
+
+    def test_estimate_path_syntax(self, xml_file, capsys):
+        code = main(
+            ["estimate", xml_file, "--query", "author/paper/title",
+             "--budget", "1"]
+        )
+        assert code == 0
+        assert "estimated selectivity:" in capsys.readouterr().out
+
+    def test_bad_query_is_error(self, xml_file, capsys):
+        assert main(["estimate", xml_file, "--query", "a[[", "--budget", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestWorkload:
+    def test_workload_stats(self, xml_file, capsys):
+        assert main(["workload", xml_file, "--queries", "3", "--show", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "avg result:" in out
+        assert out.count("t0 in") == 2
+
+
+class TestDemo:
+    def test_demo_runs_on_builtin_dataset(self, capsys):
+        code = main(["demo", "--scale", "1500", "--budget", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated selectivity:" in out
+        assert "exact selectivity:" in out
+
+
+class TestPersistenceFlow:
+    def test_build_save_then_estimate_from_synopsis(self, xml_file, tmp_path, capsys):
+        synopsis_path = str(tmp_path / "synopsis.json")
+        assert main(
+            ["build", xml_file, "--budget", "2", "--out", synopsis_path]
+        ) == 0
+        assert "saved to" in capsys.readouterr().out
+        code = main(
+            [
+                "estimate",
+                xml_file,
+                "--query",
+                "author/paper",
+                "--synopsis",
+                synopsis_path,
+                "--exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated selectivity:" in out

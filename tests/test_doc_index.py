@@ -1,0 +1,65 @@
+"""Tests for document indexes (repro.doc.index)."""
+
+import pytest
+
+from repro.datasets import figure1_document
+from repro.doc import DocumentIndex, build_tree
+
+
+@pytest.fixture(scope="module")
+def index():
+    return DocumentIndex(figure1_document())
+
+
+class TestTagPairs:
+    def test_pair_counts(self, index):
+        assert index.tag_pairs[("author", "paper")] == 4
+        assert index.tag_pairs[("author", "book")] == 2
+        assert index.tag_pairs[("paper", "keyword")] == 5
+
+    def test_has_pair(self, index):
+        assert index.has_pair("paper", "title")
+        assert index.has_pair("book", "title")
+        assert not index.has_pair("book", "keyword")
+
+    def test_child_tags(self, index):
+        assert index.child_tags("paper") == {"title", "year", "keyword"}
+        assert index.child_tags("keyword") == set()
+
+    def test_parent_tags(self, index):
+        assert index.parent_tags("title") == {"paper", "book"}
+        assert index.parent_tags("bib") == set()
+
+
+class TestLabelPaths:
+    def test_path_counts(self, index):
+        assert index.path_count(("bib",)) == 1
+        assert index.path_count(("bib", "author")) == 3
+        assert index.path_count(("bib", "author", "paper", "title")) == 4
+        assert index.path_count(("nope",)) == 0
+
+    def test_distinct_paths_sorted_by_length(self, index):
+        paths = index.distinct_paths()
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        assert ("bib",) == paths[0]
+
+    def test_total_mass_equals_elements(self, index):
+        total = sum(index.label_paths.values())
+        assert total == index.tree.element_count
+
+    def test_elements_delegates_to_extent(self, index):
+        assert len(index.elements("paper")) == 4
+        assert index.elements("missing") == []
+
+
+class TestRecursiveDocument:
+    def test_nested_tags_counted_per_depth(self):
+        tree = build_tree(
+            ("doc", [("sec", [("sec", [("sec", ["p"])]), "p"])])
+        )
+        index = DocumentIndex(tree)
+        assert index.tag_pairs[("sec", "sec")] == 2
+        assert index.path_count(("doc", "sec")) == 1
+        assert index.path_count(("doc", "sec", "sec")) == 1
+        assert index.path_count(("doc", "sec", "sec", "sec")) == 1

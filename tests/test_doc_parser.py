@@ -1,0 +1,118 @@
+"""Tests for XML parsing / serialization round-trips (repro.doc.parser)."""
+
+import pytest
+
+from repro.doc import (
+    coerce_value,
+    document_stats,
+    parse_file,
+    parse_string,
+    serialize,
+    text_size_bytes,
+    write_file,
+)
+from repro.errors import ParseError
+
+
+SAMPLE = """
+<bib>
+  <author id="a1">
+    <name>Ann</name>
+    <paper><title>Twigs</title><year>2002</year><keyword>xml</keyword></paper>
+  </author>
+</bib>
+"""
+
+
+class TestParseString:
+    def test_basic_structure(self):
+        tree = parse_string(SAMPLE, name="sample")
+        assert tree.root.tag == "bib"
+        assert len(tree.extent("author")) == 1
+        assert len(tree.extent("paper")) == 1
+
+    def test_attribute_becomes_at_child(self):
+        tree = parse_string(SAMPLE)
+        author = tree.extent("author")[0]
+        attrs = [c for c in author.children if c.is_attribute]
+        assert len(attrs) == 1
+        assert attrs[0].tag == "@id"
+        assert attrs[0].value == "a1"
+
+    def test_leaf_text_becomes_value(self):
+        tree = parse_string(SAMPLE)
+        year = tree.extent("year")[0]
+        assert year.value == 2002  # coerced to int
+
+    def test_string_value_kept(self):
+        tree = parse_string(SAMPLE)
+        assert tree.extent("name")[0].value == "Ann"
+
+    def test_mixed_content_gets_text_child(self):
+        tree = parse_string("<p>hello <b>bold</b> tail</p>")
+        tags = [c.tag for c in tree.root.children]
+        assert tags == ["#text", "b", "#text"]
+
+    def test_malformed_raises_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_string("<a><b></a>")
+
+    def test_bytes_input(self):
+        tree = parse_string(b"<a><b/></a>")
+        assert tree.element_count == 2
+
+
+class TestCoerceValue:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("42", 42), ("-7", -7), ("3.5", 3.5), ("abc", "abc"), (" 10 ", 10)],
+    )
+    def test_coercion(self, text, expected):
+        assert coerce_value(text) == expected
+
+
+class TestRoundTrip:
+    def test_serialize_then_parse_preserves_model(self):
+        original = parse_string(SAMPLE)
+        reparsed = parse_string(serialize(original))
+        assert [n.tag for n in reparsed.nodes()] == [n.tag for n in original.nodes()]
+        assert [n.value for n in reparsed.nodes()] == [
+            n.value for n in original.nodes()
+        ]
+
+    def test_special_characters_escaped(self):
+        tree = parse_string("<a note='x&amp;y'><b>&lt;tag&gt;</b></a>")
+        reparsed = parse_string(serialize(tree))
+        assert reparsed.extent("b")[0].value == "<tag>"
+        assert reparsed.extent("@note")[0].value == "x&y"
+
+    def test_compact_mode(self):
+        tree = parse_string("<a><b/><c/></a>")
+        assert "\n" not in serialize(tree, pretty=False)
+
+    def test_write_and_parse_file(self, tmp_path):
+        tree = parse_string(SAMPLE)
+        path = tmp_path / "out.xml"
+        write_file(tree, path)
+        reparsed = parse_file(path)
+        assert reparsed.element_count == tree.element_count
+
+    def test_parse_missing_file(self, tmp_path):
+        with pytest.raises(ParseError):
+            parse_file(tmp_path / "nope.xml")
+
+
+class TestStats:
+    def test_document_stats_fields(self):
+        tree = parse_string(SAMPLE, name="sample")
+        stats = document_stats(tree)
+        assert stats.name == "sample"
+        assert stats.element_count == tree.element_count
+        assert stats.distinct_tags == len(tree.tags)
+        assert stats.max_depth == 3
+        assert stats.text_size_mb > 0
+        assert stats.avg_fanout > 1
+
+    def test_text_size_matches_serialization(self):
+        tree = parse_string(SAMPLE)
+        assert text_size_bytes(tree) == len(serialize(tree).encode("utf8"))

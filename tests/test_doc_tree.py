@@ -1,0 +1,163 @@
+"""Unit tests for the document tree model (repro.doc.node / tree)."""
+
+import pytest
+
+from repro.doc import DocumentNode, DocumentTree, build_tree, subtree_size
+from repro.errors import DocumentError
+
+
+def small_tree() -> DocumentTree:
+    return build_tree(
+        ("bib", [("author", [("name", "Ann", []), ("paper", ["title"])]), "author"]),
+        name="small",
+    )
+
+
+class TestDocumentNode:
+    def test_add_child_sets_parent(self):
+        parent = DocumentNode("a")
+        child = parent.new_child("b")
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_reparenting_rejected(self):
+        parent = DocumentNode("a")
+        child = parent.new_child("b")
+        with pytest.raises(ValueError):
+            DocumentNode("c").add_child(child)
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentNode("")
+
+    def test_is_leaf_and_attribute(self):
+        node = DocumentNode("a")
+        attr = node.new_child("@id", 7)
+        assert not node.is_leaf
+        assert attr.is_leaf
+        assert attr.is_attribute
+        assert not node.is_attribute
+
+    def test_depth(self):
+        root = DocumentNode("a")
+        mid = root.new_child("b")
+        leaf = mid.new_child("c")
+        assert root.depth == 0
+        assert mid.depth == 1
+        assert leaf.depth == 2
+
+    def test_iter_subtree_preorder(self):
+        root = DocumentNode("a")
+        b = root.new_child("b")
+        b.new_child("d")
+        root.new_child("c")
+        assert [n.tag for n in root.iter_subtree()] == ["a", "b", "d", "c"]
+
+    def test_iter_descendants_excludes_self(self):
+        root = DocumentNode("a")
+        root.new_child("b")
+        assert [n.tag for n in root.iter_descendants()] == ["b"]
+
+    def test_iter_ancestors(self):
+        root = DocumentNode("a")
+        leaf = root.new_child("b").new_child("c")
+        assert [n.tag for n in leaf.iter_ancestors()] == ["b", "a"]
+
+    def test_children_with_tag_and_count(self):
+        root = DocumentNode("a")
+        root.new_child("b")
+        root.new_child("c")
+        root.new_child("b")
+        assert len(root.children_with_tag("b")) == 2
+        assert root.child_count("b") == 2
+        assert root.child_count("z") == 0
+
+    def test_label_path(self):
+        root = DocumentNode("a")
+        leaf = root.new_child("b").new_child("c")
+        assert leaf.label_path() == ("a", "b", "c")
+
+
+class TestDocumentTree:
+    def test_freeze_assigns_preorder_ids(self):
+        tree = small_tree()
+        tags = [n.tag for n in tree.nodes()]
+        assert tags == ["bib", "author", "name", "paper", "title", "author"]
+        assert [n.node_id for n in tree.nodes()] == list(range(6))
+
+    def test_element_count_and_tags(self):
+        tree = small_tree()
+        assert tree.element_count == 6
+        assert set(tree.tags) == {"bib", "author", "name", "paper", "title"}
+
+    def test_extent(self):
+        tree = small_tree()
+        assert len(tree.extent("author")) == 2
+        assert tree.extent("missing") == []
+
+    def test_tag_counts(self):
+        counts = small_tree().tag_counts()
+        assert counts["author"] == 2
+        assert counts["bib"] == 1
+
+    def test_node_by_id(self):
+        tree = small_tree()
+        assert tree.node_by_id(0) is tree.root
+        with pytest.raises(DocumentError):
+            tree.node_by_id(99)
+
+    def test_iter_edges_count(self):
+        tree = small_tree()
+        assert sum(1 for _ in tree.iter_edges()) == tree.element_count - 1
+
+    def test_max_depth(self):
+        assert small_tree().max_depth() == 3
+
+    def test_root_with_parent_rejected(self):
+        parent = DocumentNode("a")
+        child = parent.new_child("b")
+        with pytest.raises(DocumentError):
+            DocumentTree(child)
+
+    def test_validate_passes_on_good_tree(self):
+        small_tree().validate()
+
+    def test_validate_detects_bad_parent_pointer(self):
+        tree = small_tree()
+        tree.root.children[0].parent = tree.root.children[1]
+        with pytest.raises(DocumentError):
+            tree.validate()
+
+    def test_shared_node_detected(self):
+        root = DocumentNode("a")
+        shared = DocumentNode("b")
+        root.children.append(shared)  # bypass add_child on purpose
+        root.children.append(shared)
+        shared.parent = root
+        with pytest.raises(DocumentError):
+            DocumentTree(root)
+
+
+class TestBuildTree:
+    def test_string_shorthand(self):
+        tree = build_tree("solo")
+        assert tree.root.tag == "solo"
+        assert tree.element_count == 1
+
+    def test_value_shorthand(self):
+        tree = build_tree(("year", 2003))
+        assert tree.root.value == 2003
+
+    def test_nested(self):
+        tree = build_tree(("a", [("b", 1, []), ("c", [("d", [])])]))
+        assert [n.tag for n in tree.nodes()] == ["a", "b", "c", "d"]
+        assert tree.extent("b")[0].value == 1
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(DocumentError):
+            build_tree(("a", [42]))
+
+    def test_subtree_size(self):
+        tree = small_tree()
+        assert subtree_size(tree.root) == 6
+        assert subtree_size(tree.extent("paper")[0]) == 2

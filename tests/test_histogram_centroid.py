@@ -1,0 +1,107 @@
+"""Tests for the centroid (bucketized) histogram engine."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.histogram import CentroidHistogram, SparseDistribution, ops
+
+
+def dist(mapping):
+    return SparseDistribution(mapping)
+
+
+class TestCentroidHistogram:
+    def test_no_compression_when_under_budget(self):
+        source = dist({(1, 1): 1, (5, 5): 1})
+        hist = CentroidHistogram(source, buckets=4)
+        assert hist.bucket_count() == 2
+        assert sorted(hist.points()) == sorted(source.points())
+
+    def test_compression_respects_budget(self):
+        source = SparseDistribution.from_observations(
+            [(i, i % 5) for i in range(50)]
+        )
+        hist = CentroidHistogram(source, buckets=8)
+        assert hist.bucket_count() <= 8
+
+    def test_mass_preserved(self):
+        source = SparseDistribution.from_observations(
+            [(i % 7, i % 3) for i in range(60)]
+        )
+        hist = CentroidHistogram(source, buckets=3)
+        assert ops.total_mass(hist.points()) == pytest.approx(1.0)
+
+    def test_means_preserved(self):
+        source = SparseDistribution.from_observations(
+            [(random.Random(7).randint(0, 20), 3) for _ in range(40)]
+        )
+        hist = CentroidHistogram(source, buckets=2)
+        assert hist.mean(0) == pytest.approx(source.mean(0))
+        assert hist.mean(1) == pytest.approx(source.mean(1))
+
+    def test_single_bucket_collapses_to_mean(self):
+        source = dist({(2, 10): 1, (4, 20): 1})
+        hist = CentroidHistogram(source, buckets=1)
+        points = hist.points()
+        assert len(points) == 1
+        vector, mass = points[0]
+        assert mass == pytest.approx(1.0)
+        assert vector == (pytest.approx(3.0), pytest.approx(15.0))
+
+    def test_nearby_points_merge_first(self):
+        source = dist({(1,): 10, (2,): 10, (100,): 1})
+        hist = CentroidHistogram(source, buckets=2)
+        vectors = sorted(v for (v,), _ in hist.points())
+        # the outlier at 100 must survive; 1 and 2 merge
+        assert vectors[-1] == pytest.approx(100.0)
+        assert vectors[0] == pytest.approx(1.5)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(SynopsisError):
+            CentroidHistogram(dist({(1,): 1}), buckets=0)
+
+    def test_large_input_prequantized(self):
+        rng = random.Random(3)
+        source = SparseDistribution.from_observations(
+            [(rng.randint(0, 2000), rng.randint(0, 2000)) for _ in range(3000)]
+        )
+        hist = CentroidHistogram(source, buckets=16)
+        assert hist.bucket_count() <= 16
+        assert ops.total_mass(hist.points()) == pytest.approx(1.0)
+        # means survive quantization + merging
+        assert hist.mean(0) == pytest.approx(source.mean(0), rel=1e-6)
+
+
+@st.composite
+def observations(draw):
+    width = draw(st.integers(min_value=1, max_value=3))
+    count = draw(st.integers(min_value=1, max_value=60))
+    vector = st.tuples(*[st.integers(min_value=0, max_value=50)] * width)
+    return draw(st.lists(vector, min_size=count, max_size=count))
+
+
+class TestCentroidProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(observations(), st.integers(min_value=1, max_value=10))
+    def test_mass_and_mean_invariants(self, obs, budget):
+        source = SparseDistribution.from_observations(obs)
+        hist = CentroidHistogram(source, budget)
+        assert hist.bucket_count() <= max(budget, 1)
+        assert math.isclose(ops.total_mass(hist.points()), 1.0, rel_tol=1e-9)
+        for dim in range(source.dimensions):
+            assert math.isclose(
+                hist.mean(dim), source.mean(dim), rel_tol=1e-7, abs_tol=1e-7
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(observations())
+    def test_exact_at_generous_budget(self, obs):
+        source = SparseDistribution.from_observations(obs)
+        hist = CentroidHistogram(source, buckets=len(obs) + 1)
+        if source.point_count <= 512:
+            assert sorted(hist.points()) == sorted(source.points())

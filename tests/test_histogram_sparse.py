@@ -1,0 +1,131 @@
+"""Tests for exact sparse distributions and point-list ops."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.histogram import SparseDistribution, ops
+
+
+def dist(mapping):
+    return SparseDistribution(mapping)
+
+
+class TestConstruction:
+    def test_normalizes(self):
+        d = dist({(1,): 2, (2,): 2})
+        assert d.fraction((1,)) == pytest.approx(0.5)
+
+    def test_from_observations(self):
+        d = SparseDistribution.from_observations([(1, 2), (1, 2), (3, 4)])
+        assert d.fraction((1, 2)) == pytest.approx(2 / 3)
+        assert d.point_count == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynopsisError):
+            dist({})
+        with pytest.raises(SynopsisError):
+            SparseDistribution.from_observations([])
+
+    def test_inconsistent_widths_rejected(self):
+        with pytest.raises(SynopsisError):
+            dist({(1,): 1, (1, 2): 1})
+
+    def test_negative_rejected(self):
+        with pytest.raises(SynopsisError):
+            dist({(1,): -1, (2,): 2})
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(SynopsisError):
+            dist({(1,): 0})
+
+
+class TestQueries:
+    def test_points_sum_to_one(self):
+        d = dist({(1, 1): 1, (2, 3): 3})
+        assert ops.total_mass(d.points()) == pytest.approx(1.0)
+
+    def test_marginal(self):
+        d = dist({(1, 5): 1, (1, 7): 1, (2, 5): 2})
+        marginal = d.marginal([0])
+        assert marginal.fraction((1,)) == pytest.approx(0.5)
+        assert marginal.fraction((2,)) == pytest.approx(0.5)
+
+    def test_expected_product_single_dim(self):
+        # the paper's example: f_A(10,100)=0.5, f_A(100,10)=0.5
+        d = dist({(10, 100): 1, (100, 10): 1})
+        assert d.expected_product([0]) == pytest.approx(55.0)
+        assert d.expected_product([0, 1]) == pytest.approx(1000.0)
+
+    def test_expected_product_empty_dims_is_mass(self):
+        d = dist({(3,): 1, (5,): 1})
+        assert d.expected_product([]) == pytest.approx(1.0)
+
+    def test_mean(self):
+        d = dist({(2,): 1, (4,): 3})
+        assert d.mean(0) == pytest.approx(3.5)
+
+    def test_fraction_absent(self):
+        assert dist({(1,): 1}).fraction((9,)) == 0.0
+
+
+class TestOps:
+    def test_normalize_empty(self):
+        assert ops.normalize([]) == []
+
+    def test_condition_exact_match(self):
+        points = [((1.0, 2.0), 0.25), ((1.0, 3.0), 0.25), ((2.0, 4.0), 0.5)]
+        conditioned = ops.condition(points, {0: 1.0})
+        assert ops.total_mass(conditioned) == pytest.approx(1.0)
+        assert sorted(v for (v,), _ in conditioned) == [2.0, 3.0]
+
+    def test_condition_nearest_fallback(self):
+        points = [((1.0, 2.0), 0.5), ((5.0, 7.0), 0.5)]
+        conditioned = ops.condition(points, {0: 4.0})
+        # nearest on dim 0 is the 5.0 point
+        assert conditioned == [((7.0,), 1.0)]
+
+    def test_condition_no_assignment(self):
+        points = [((1.0,), 1.0)]
+        assert ops.condition(points, {}) == points
+
+    def test_mass_where_positive(self):
+        points = [((0.0,), 0.25), ((2.0,), 0.75)]
+        assert ops.mass_where_positive(points, 0) == pytest.approx(0.75)
+
+    def test_marginalize_merges(self):
+        points = [((1.0, 9.0), 0.5), ((1.0, 7.0), 0.5)]
+        merged = ops.marginalize(points, [0])
+        assert merged == [((1.0,), 1.0)]
+
+
+@st.composite
+def observations(draw):
+    width = draw(st.integers(min_value=1, max_value=3))
+    count = draw(st.integers(min_value=1, max_value=40))
+    vector = st.tuples(*[st.integers(min_value=0, max_value=30)] * width)
+    return draw(st.lists(vector, min_size=count, max_size=count))
+
+
+class TestProperties:
+    @given(observations())
+    def test_unit_mass(self, obs):
+        d = SparseDistribution.from_observations(obs)
+        assert math.isclose(ops.total_mass(d.points()), 1.0, rel_tol=1e-9)
+
+    @given(observations())
+    def test_marginal_preserves_mass_and_mean(self, obs):
+        d = SparseDistribution.from_observations(obs)
+        marginal = d.marginal([0])
+        assert math.isclose(ops.total_mass(marginal.points()), 1.0, rel_tol=1e-9)
+        assert math.isclose(marginal.mean(0), d.mean(0), rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(observations())
+    def test_expected_product_matches_direct_average(self, obs):
+        d = SparseDistribution.from_observations(obs)
+        dims = list(range(len(obs[0])))
+        direct = sum(math.prod(vector) for vector in obs) / len(obs)
+        assert math.isclose(d.expected_product(dims), direct, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,116 @@
+"""Tests for 1-D value histograms (numeric equi-depth + string top-k)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.histogram import (
+    NumericValueHistogram,
+    StringValueHistogram,
+    build_value_histogram,
+)
+from repro.query import ValuePredicate
+
+
+class TestNumericHistogram:
+    def test_exact_with_many_buckets(self):
+        values = [1990, 1995, 1995, 2000, 2005]
+        hist = NumericValueHistogram(values, buckets=10)
+        assert hist.selectivity(ValuePredicate(">", 2000)) == pytest.approx(1 / 5)
+        assert hist.selectivity(ValuePredicate(">=", 2000)) == pytest.approx(2 / 5)
+        assert hist.selectivity(ValuePredicate("<", 1995)) == pytest.approx(1 / 5)
+
+    def test_range_predicate(self):
+        values = list(range(100))
+        hist = NumericValueHistogram(values, buckets=10)
+        sel = hist.selectivity(ValuePredicate.between(10, 19))
+        assert sel == pytest.approx(0.1, abs=0.03)
+
+    def test_equality_uses_distinct_counts(self):
+        values = [5] * 10 + [6] * 10
+        hist = NumericValueHistogram(values, buckets=1)
+        assert hist.selectivity(ValuePredicate("=", 5)) == pytest.approx(0.5)
+
+    def test_inequality(self):
+        values = [1, 2, 3, 4]
+        hist = NumericValueHistogram(values, buckets=4)
+        assert hist.selectivity(ValuePredicate("!=", 1)) == pytest.approx(0.75)
+
+    def test_out_of_domain(self):
+        hist = NumericValueHistogram([10, 20], buckets=2)
+        assert hist.selectivity(ValuePredicate(">", 100)) == 0.0
+        assert hist.selectivity(ValuePredicate("<", 0)) == 0.0
+
+    def test_string_predicate_on_numeric_is_zero(self):
+        hist = NumericValueHistogram([1, 2], buckets=2)
+        assert hist.selectivity(ValuePredicate("=", "x")) == 0.0
+
+    def test_bucket_budget(self):
+        hist = NumericValueHistogram(list(range(100)), buckets=7)
+        assert hist.bucket_count() == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynopsisError):
+            NumericValueHistogram([], buckets=2)
+        with pytest.raises(SynopsisError):
+            NumericValueHistogram([1], buckets=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_range_selectivity_bounded_and_monotone(self, values, buckets, split):
+        hist = NumericValueHistogram(values, buckets)
+        below = hist.selectivity(ValuePredicate("<=", split))
+        above = hist.selectivity(ValuePredicate(">", split))
+        assert 0.0 <= below <= 1.0
+        assert 0.0 <= above <= 1.0
+        # ≤ and > partition the domain; allow bucket-interpolation slack
+        assert below + above == pytest.approx(1.0, abs=0.5)
+
+
+class TestStringHistogram:
+    def test_top_values_exact(self):
+        values = ["Action"] * 6 + ["Drama"] * 3 + ["Noir"]
+        hist = StringValueHistogram(values, buckets=2)
+        assert hist.selectivity(ValuePredicate("=", "Action")) == pytest.approx(0.6)
+        assert hist.selectivity(ValuePredicate("=", "Drama")) == pytest.approx(0.3)
+
+    def test_rest_pool_uniform(self):
+        values = ["a"] * 8 + ["b", "c"]
+        hist = StringValueHistogram(values, buckets=1)
+        assert hist.selectivity(ValuePredicate("=", "b")) == pytest.approx(0.1)
+        assert hist.selectivity(ValuePredicate("=", "zzz")) == pytest.approx(0.1)
+
+    def test_missing_value_with_no_pool(self):
+        hist = StringValueHistogram(["a", "a"], buckets=5)
+        assert hist.selectivity(ValuePredicate("=", "b")) == 0.0
+
+    def test_not_equal(self):
+        hist = StringValueHistogram(["a"] * 3 + ["b"], buckets=2)
+        assert hist.selectivity(ValuePredicate("!=", "a")) == pytest.approx(0.25)
+
+    def test_numeric_predicate_on_strings_is_zero(self):
+        hist = StringValueHistogram(["a"], buckets=1)
+        assert hist.selectivity(ValuePredicate("=", 3)) == 0.0
+
+
+class TestBuildDispatch:
+    def test_numeric_dispatch(self):
+        hist = build_value_histogram([1, 2, 3], buckets=2)
+        assert hist.kind == "numeric"
+
+    def test_string_dispatch(self):
+        hist = build_value_histogram(["x", "y"], buckets=2)
+        assert hist.kind == "string"
+
+    def test_mixed_dispatch_to_string(self):
+        hist = build_value_histogram([1, "x"], buckets=2)
+        assert hist.kind == "string"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynopsisError):
+            build_value_histogram([], buckets=2)

@@ -1,0 +1,87 @@
+"""Tests for the Haar wavelet histogram engine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.histogram import SparseDistribution, WaveletHistogram, ops
+
+
+def dist(mapping):
+    return SparseDistribution(mapping)
+
+
+class TestWaveletHistogram:
+    def test_exact_with_all_coefficients(self):
+        source = dist({(1,): 1, (3,): 1, (5,): 2})
+        hist = WaveletHistogram(source, coefficients=64)
+        for (vector, mass) in source.points():
+            match = [m for v, m in hist.points() if v == vector]
+            assert match and match[0] == pytest.approx(mass, abs=1e-9)
+
+    def test_mass_normalized_after_truncation(self):
+        source = SparseDistribution.from_observations(
+            [(i % 13,) for i in range(100)]
+        )
+        hist = WaveletHistogram(source, coefficients=3)
+        assert ops.total_mass(hist.points()) == pytest.approx(1.0)
+
+    def test_points_non_negative(self):
+        source = SparseDistribution.from_observations(
+            [(i % 7, (3 * i) % 5) for i in range(50)]
+        )
+        hist = WaveletHistogram(source, coefficients=4)
+        assert all(mass >= 0 for _, mass in hist.points())
+        assert all(all(c >= 0 for c in vector) for vector, _ in hist.points())
+
+    def test_budget_respected(self):
+        source = SparseDistribution.from_observations([(i,) for i in range(60)])
+        hist = WaveletHistogram(source, coefficients=5)
+        assert hist.bucket_count() <= 5
+
+    def test_large_counts_clipped_into_top_cell(self):
+        source = dist({(1000,): 1, (1,): 1})
+        hist = WaveletHistogram(source, coefficients=64)
+        assert ops.total_mass(hist.points()) == pytest.approx(1.0)
+        top = max(v for (v,), _ in hist.points())
+        assert top <= 63
+
+    def test_two_dimensional(self):
+        source = dist({(1, 2): 1, (3, 1): 1})
+        hist = WaveletHistogram(source, coefficients=256)
+        assert hist.dimensions == 2
+        reconstructed = dict(hist.points())
+        assert reconstructed[(1.0, 2.0)] == pytest.approx(0.5, abs=1e-9)
+        assert reconstructed[(3.0, 1.0)] == pytest.approx(0.5, abs=1e-9)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(SynopsisError):
+            WaveletHistogram(dist({(1,): 1}), coefficients=0)
+
+    def test_expected_product_reasonable(self):
+        source = dist({(2,): 1, (4,): 1})
+        hist = WaveletHistogram(source, coefficients=64)
+        assert hist.expected_product([0]) == pytest.approx(3.0, abs=1e-9)
+        assert hist.mean(0) == pytest.approx(3.0, abs=1e-9)
+
+
+class TestWaveletProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=15)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_unit_mass_nonnegative(self, obs, coefficients):
+        source = SparseDistribution.from_observations(obs)
+        hist = WaveletHistogram(source, coefficients)
+        points = hist.points()
+        assert points, "reconstruction must not be empty"
+        assert math.isclose(ops.total_mass(points), 1.0, rel_tol=1e-9)
+        assert all(mass >= 0 for _, mass in points)

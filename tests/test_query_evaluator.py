@@ -1,0 +1,176 @@
+"""Tests for exact twig evaluation (repro.query.evaluator).
+
+Includes the paper's Example 2.1 (3 binding tuples over Figure 1) and the
+Figure 4 selectivity gap (2000 vs 10100).
+"""
+
+import pytest
+
+from repro.datasets.paperfig import figure1_document, figure4_documents, movie_document
+from repro.query import (
+    Path,
+    count_bindings,
+    enumerate_bindings,
+    eval_path,
+    parse_for_clause,
+    parse_path,
+    path_exists,
+    twig,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_document()
+
+
+class TestEvalPath:
+    def test_child_step(self, fig1):
+        authors = eval_path(parse_path("author"), fig1.root)
+        assert len(authors) == 3
+
+    def test_chain(self, fig1):
+        titles = eval_path(parse_path("author/paper/title"), fig1.root)
+        assert len(titles) == 4
+
+    def test_descendant(self, fig1):
+        keywords = eval_path(parse_path("//keyword"), fig1.root)
+        assert len(keywords) == 5
+        titles = eval_path(parse_path("//title"), fig1.root)
+        assert len(titles) == 6  # 4 paper titles + 2 book titles
+
+    def test_descendant_dedup(self):
+        # nested sections: //section//title must not double-count
+        from repro.doc import build_tree
+
+        tree = build_tree(
+            ("doc", [("section", [("section", [("title", [])]), ("title", [])])])
+        )
+        titles = eval_path(parse_path("//section//title"), tree.root)
+        assert len(titles) == 2
+
+    def test_value_predicate(self, fig1):
+        recent = eval_path(parse_path("author/paper/year{>2000}"), fig1.root)
+        assert len(recent) == 2
+
+    def test_branch_predicate(self, fig1):
+        qualifying = eval_path(parse_path("author/paper[year{>2000}]"), fig1.root)
+        assert len(qualifying) == 2
+
+    def test_branch_with_multiple_conditions(self, fig1):
+        with_books = eval_path(parse_path("author[book][paper]"), fig1.root)
+        assert len(with_books) == 1
+
+    def test_document_order(self, fig1):
+        papers = eval_path(parse_path("author/paper"), fig1.root)
+        ids = [p.node_id for p in papers]
+        assert ids == sorted(ids)
+
+    def test_no_match(self, fig1):
+        assert eval_path(parse_path("movie"), fig1.root) == []
+
+
+class TestPathExists:
+    def test_exists(self, fig1):
+        assert path_exists(parse_path("author/book"), fig1.root)
+
+    def test_not_exists(self, fig1):
+        assert not path_exists(parse_path("author/movie"), fig1.root)
+
+    def test_exists_with_value(self, fig1):
+        assert path_exists(parse_path("//year{>2002}"), fig1.root)
+        assert not path_exists(parse_path("//year{>2010}"), fig1.root)
+
+
+class TestExample21:
+    """The paper's Example 2.1: the twig over Figure 1 yields 3 tuples."""
+
+    def query(self):
+        return parse_for_clause(
+            """
+            for t0 in author,
+                t1 in t0/name,
+                t2 in t0/paper[year > 2000],
+                t3 in t2/title,
+                t4 in t2/keyword
+            """
+        )
+
+    def test_selectivity_is_three(self, fig1):
+        assert count_bindings(self.query(), fig1) == 3
+
+    def test_tuples_match_paper_table(self, fig1):
+        bindings = enumerate_bindings(self.query(), fig1)
+        assert len(bindings) == 3
+        # Tuple structure: two tuples share the same (author, paper, title)
+        # and differ in keyword; the third binds the second author.
+        papers = {id(b["t2"]) for b in bindings}
+        assert len(papers) == 2
+        authors = {id(b["t0"]) for b in bindings}
+        assert len(authors) == 2
+
+    def test_limit(self, fig1):
+        assert len(enumerate_bindings(self.query(), fig1, limit=2)) == 2
+
+
+class TestFigure4:
+    """Same single-path XSKETCH, twig selectivities 2000 vs 10100."""
+
+    def pairing_query(self):
+        return parse_for_clause("for t0 in a, t1 in t0/b, t2 in t0/c")
+
+    def test_selectivities(self):
+        doc_a, doc_b = figure4_documents()
+        assert count_bindings(self.pairing_query(), doc_a) == 2000
+        assert count_bindings(self.pairing_query(), doc_b) == 10100
+
+    def test_single_path_counts_agree(self):
+        doc_a, doc_b = figure4_documents()
+        for path_text in ["a", "a/b", "a/c"]:
+            path = parse_path(path_text)
+            assert len(eval_path(path, doc_a.root)) == len(
+                eval_path(path, doc_b.root)
+            )
+
+
+class TestCountBindings:
+    def test_single_node_twig(self, fig1):
+        query = twig(Path.of("author"))
+        assert count_bindings(query, fig1) == 3
+
+    def test_multiplicative_fanout(self, fig1):
+        # keywords below each author's papers: (1+2) + 1 + 1 = 5
+        query = parse_for_clause("for a in author, k in a/paper/keyword")
+        assert count_bindings(query, fig1) == 5
+
+    def test_zero_when_branch_fails(self, fig1):
+        query = parse_for_clause("for a in author[movie], n in a/name")
+        assert count_bindings(query, fig1) == 0
+
+    def test_nested_twig(self, fig1):
+        query = parse_for_clause(
+            "for a in author, p in a/paper, t in p/title, k in p/keyword"
+        )
+        # p4: 1*1, p5: 1*2, p8: 1, p9: 1 -> 5
+        assert count_bindings(query, fig1) == 5
+
+    def test_descendant_twig(self, fig1):
+        query = parse_for_clause("for b in bib, k in b//keyword")
+        assert count_bindings(query, fig1) == 5
+
+    def test_movie_intro_query(self):
+        tree = movie_document()
+        action = parse_for_clause(
+            'for m in movie[/type = "Action"], a in m/actor, p in m/producer'
+        )
+        documentary = parse_for_clause(
+            'for m in movie[/type = "Documentary"], a in m/actor, p in m/producer'
+        )
+        assert count_bindings(action, tree) == 10 * 3 + 8 * 2
+        assert count_bindings(documentary, tree) == 2 * 1 + 1 * 1
+
+    def test_enumerate_matches_count(self, fig1):
+        query = parse_for_clause(
+            "for a in author, p in a/paper, k in p/keyword, n in a/name"
+        )
+        assert len(enumerate_bindings(query, fig1)) == count_bindings(query, fig1)

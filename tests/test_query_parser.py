@@ -1,0 +1,216 @@
+"""Tests for path / for-clause parsing (repro.query.parser, forclause)."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.query import (
+    CHILD,
+    DESCENDANT,
+    Path,
+    Step,
+    ValuePredicate,
+    parse_for_clause,
+    parse_path,
+)
+
+
+class TestParsePath:
+    def test_simple_chain(self):
+        path = parse_path("author/paper/title")
+        assert path.tags() == ("author", "paper", "title")
+        assert all(step.axis == CHILD for step in path.steps)
+
+    def test_leading_slash_is_child(self):
+        path = parse_path("/author/name")
+        assert path.tags() == ("author", "name")
+        assert path.steps[0].axis == CHILD
+
+    def test_descendant_axis(self):
+        path = parse_path("//keyword")
+        assert path.steps[0].axis == DESCENDANT
+
+    def test_mixed_axes(self):
+        path = parse_path("site//item/name")
+        assert [s.axis for s in path.steps] == [CHILD, DESCENDANT, CHILD]
+
+    def test_value_predicate_gt(self):
+        path = parse_path("year{>2000}")
+        pred = path.steps[0].value_pred
+        assert pred == ValuePredicate(">", 2000)
+
+    def test_value_predicate_equality_default(self):
+        path = parse_path("type{Action}")
+        assert path.steps[0].value_pred == ValuePredicate("=", "Action")
+
+    def test_value_predicate_quoted(self):
+        path = parse_path('type{="Action Movie"}')
+        assert path.steps[0].value_pred == ValuePredicate("=", "Action Movie")
+
+    def test_range_predicate(self):
+        path = parse_path("year{1990..1999}")
+        assert path.steps[0].value_pred == ValuePredicate("range", 1990, 1999)
+
+    def test_branch_predicate(self):
+        path = parse_path("paper[year{>2000}]/title")
+        paper = path.steps[0]
+        assert len(paper.branches) == 1
+        branch = paper.branches[0]
+        assert branch.tags() == ("year",)
+        assert branch.steps[0].value_pred == ValuePredicate(">", 2000)
+
+    def test_xpath_sugar_comparison_in_branch(self):
+        path = parse_path("paper[year > 2000]")
+        branch = path.steps[0].branches[0]
+        assert branch.steps[0].value_pred == ValuePredicate(">", 2000)
+
+    def test_xpath_sugar_with_leading_slash(self):
+        path = parse_path('movie[/type = "Action"]')
+        branch = path.steps[0].branches[0]
+        assert branch.tags() == ("type",)
+        assert branch.steps[0].value_pred == ValuePredicate("=", "Action")
+
+    def test_multi_step_branch(self):
+        path = parse_path("author[paper/keyword]")
+        branch = path.steps[0].branches[0]
+        assert branch.tags() == ("paper", "keyword")
+
+    def test_nested_branch(self):
+        path = parse_path("author[paper[year{>2000}]]")
+        outer = path.steps[0].branches[0]
+        inner = outer.steps[0].branches[0]
+        assert inner.tags() == ("year",)
+
+    def test_multiple_branches(self):
+        path = parse_path("paper[title][keyword]")
+        assert len(path.steps[0].branches) == 2
+
+    def test_descendant_branch(self):
+        path = parse_path("site[//keyword]")
+        branch = path.steps[0].branches[0]
+        assert branch.steps[0].axis == DESCENDANT
+
+    def test_attribute_and_text_names(self):
+        path = parse_path("item/@id")
+        assert path.tags() == ("item", "@id")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "/", "a//", "a[", "a{", "a{>}", "a]b", "a{1..}", "a b c"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_path(bad)
+
+    def test_round_trip_text(self):
+        for text in [
+            "author/paper/title",
+            "//keyword",
+            "paper[year{>2000}]/title",
+            "year{1990..1999}",
+            "a[b/c][d]",
+        ]:
+            path = parse_path(text)
+            assert parse_path(path.text()).text() == path.text()
+
+
+class TestValuePredicate:
+    def test_matching_numeric(self):
+        assert ValuePredicate(">", 2000).matches(2001)
+        assert not ValuePredicate(">", 2000).matches(2000)
+        assert ValuePredicate("range", 10, 20).matches(10)
+        assert ValuePredicate("range", 10, 20).matches(20)
+        assert not ValuePredicate("range", 10, 20).matches(21)
+
+    def test_matching_string(self):
+        assert ValuePredicate("=", "Action").matches("Action")
+        assert ValuePredicate("!=", "Action").matches("Drama")
+
+    def test_type_mismatch_is_nonmatch(self):
+        assert not ValuePredicate(">", 2000).matches("late")
+        assert not ValuePredicate("=", "Action").matches(3)
+
+    def test_none_never_matches(self):
+        assert not ValuePredicate("=", 1).matches(None)
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(QueryError):
+            ValuePredicate("~", 1)
+
+    def test_range_requires_high(self):
+        with pytest.raises(QueryError):
+            ValuePredicate("range", 1)
+
+    def test_single_bound_rejects_high(self):
+        with pytest.raises(QueryError):
+            ValuePredicate("=", 1, 2)
+
+
+class TestForClause:
+    def test_paper_intro_query(self):
+        query = parse_for_clause(
+            """
+            for t0 in //movie[/type = "Action"],
+                t1 in t0/actor,
+                t2 in t0/producer
+            return t1, t2
+            """
+        )
+        nodes = query.nodes()
+        assert [n.var for n in nodes] == ["t0", "t1", "t2"]
+        assert nodes[0].path.steps[0].axis == DESCENDANT
+        assert len(query.root.children) == 2
+
+    def test_nested_variables(self):
+        query = parse_for_clause(
+            "for a in author, p in a/paper, k in p/keyword"
+        )
+        assert query.root.var == "a"
+        assert query.root.children[0].var == "p"
+        assert query.root.children[0].children[0].var == "k"
+
+    def test_descendant_from_variable(self):
+        query = parse_for_clause("for a in author, k in a//keyword")
+        k = query.root.children[0]
+        assert k.path.steps[0].axis == DESCENDANT
+
+    def test_dollar_variables(self):
+        query = parse_for_clause("for $a in author, $n in $a/name")
+        assert query.root.var == "a"
+        assert query.root.children[0].var == "n"
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ParseError):
+            parse_for_clause("for a in author, n in b/name")
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_for_clause("for a in author, a in a/name")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_for_clause("for ")
+
+
+class TestTwigQueryModel:
+    def test_structural_node_count_counts_steps(self):
+        query = parse_for_clause("for a in author, k in a/paper/keyword")
+        assert query.size == 2
+        assert query.structural_node_count() == 3
+
+    def test_has_value_predicates(self):
+        plain = parse_for_clause("for a in author, p in a/paper")
+        valued = parse_for_clause("for a in author, p in a/paper[year > 2000]")
+        assert not plain.has_value_predicates()
+        assert valued.has_value_predicates()
+
+    def test_internal_fanouts(self):
+        query = parse_for_clause(
+            "for a in author, n in a/name, p in a/paper, k in p/keyword"
+        )
+        assert sorted(query.internal_fanouts()) == [1, 2]
+
+    def test_text_rendering_parses_back(self):
+        query = parse_for_clause("for a in author, p in a/paper, n in a/name")
+        text = query.text()
+        assert "a in author" in text
+        assert "p in paper" in text

@@ -1,0 +1,144 @@
+"""Tests for synopsis persistence (repro.synopsis.persist)."""
+
+import json
+
+import pytest
+
+from repro.build import ValueExpand, xbuild
+from repro.datasets import figure1_document, generate_imdb, movie_document
+from repro.errors import SynopsisError
+from repro.estimation import PathEstimator, TwigEstimator
+from repro.query import parse_for_clause, parse_path, twig
+from repro.synopsis import (
+    EdgeRef,
+    TwigXSketch,
+    XSketchConfig,
+    load_sketch,
+    save_sketch,
+    sketch_from_dict,
+    sketch_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def built_sketch():
+    tree = generate_imdb(3000, seed=2)
+    sketch = xbuild(tree, budget_bytes=3 * 1024, seed=3)
+    # include an extended summary so every stat kind round-trips
+    movie = sketch.graph.nodes_with_tag("movie")[0].node_id
+    actor_nodes = [
+        e.target
+        for e in sketch.graph.children_of(movie)
+        if sketch.graph.node(e.target).tag == "actor"
+    ]
+    if actor_nodes:
+        sketch = ValueExpand(
+            movie, "type", (EdgeRef(movie, actor_nodes[0]),)
+        ).apply(sketch)
+    return sketch
+
+
+class TestRoundTrip:
+    def test_json_serializable(self, built_sketch):
+        payload = sketch_to_dict(built_sketch)
+        text = json.dumps(payload)
+        assert sketch_from_dict(json.loads(text)).graph.node_count == (
+            built_sketch.graph.node_count
+        )
+
+    def test_graph_preserved(self, built_sketch):
+        loaded = sketch_from_dict(sketch_to_dict(built_sketch))
+        assert loaded.graph.node_count == built_sketch.graph.node_count
+        assert loaded.graph.edge_count == built_sketch.graph.edge_count
+        for node in built_sketch.graph.iter_nodes():
+            frozen = loaded.graph.node(node.node_id)
+            assert frozen.tag == node.tag
+            assert frozen.count == node.count
+        for key, edge in built_sketch.graph.edges.items():
+            frozen_edge = loaded.graph.edge(*key)
+            assert frozen_edge.child_count == edge.child_count
+            assert frozen_edge.backward_stable == edge.backward_stable
+            assert frozen_edge.forward_stable == edge.forward_stable
+
+    def test_size_accounting_preserved(self, built_sketch):
+        loaded = sketch_from_dict(sketch_to_dict(built_sketch))
+        assert loaded.size_bytes() == built_sketch.size_bytes()
+
+    def test_estimates_identical(self, built_sketch):
+        loaded = sketch_from_dict(sketch_to_dict(built_sketch))
+        queries = [
+            parse_for_clause("for m in movie, a in m/actor, k in m/keyword"),
+            parse_for_clause(
+                'for m in movie[/type = "Action"], a in m/actor'
+            ),
+            twig(parse_path("movie[narrator]")),
+            twig(parse_path("series/episode/movie")),
+            parse_for_clause("for m in movie[year > 1990], a in m/actor"),
+        ]
+        original = TwigEstimator(built_sketch)
+        reloaded = TwigEstimator(loaded)
+        for query in queries:
+            assert reloaded.estimate(query) == pytest.approx(
+                original.estimate(query)
+            )
+
+    def test_path_estimator_works_on_loaded(self, built_sketch):
+        loaded = sketch_from_dict(sketch_to_dict(built_sketch))
+        path = parse_path("movie/actor")
+        assert PathEstimator(loaded).estimate(path) == pytest.approx(
+            PathEstimator(built_sketch).estimate(path)
+        )
+
+
+class TestFiles:
+    def test_save_and_load(self, built_sketch, tmp_path):
+        path = tmp_path / "synopsis.json"
+        save_sketch(built_sketch, path)
+        loaded = load_sketch(path)
+        assert loaded.size_bytes() == built_sketch.size_bytes()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SynopsisError):
+            load_sketch(tmp_path / "nope.json")
+
+    def test_load_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf8")
+        with pytest.raises(SynopsisError):
+            load_sketch(path)
+
+    def test_version_check(self, built_sketch):
+        payload = sketch_to_dict(built_sketch)
+        payload["version"] = 999
+        with pytest.raises(SynopsisError):
+            sketch_from_dict(payload)
+
+
+class TestFrozenGraph:
+    def test_refinement_rejected_on_loaded(self, built_sketch):
+        loaded = sketch_from_dict(sketch_to_dict(built_sketch))
+        with pytest.raises(SynopsisError):
+            loaded.graph.split_node(0, {1})
+
+    def test_missing_node_lookup(self, built_sketch):
+        loaded = sketch_from_dict(sketch_to_dict(built_sketch))
+        with pytest.raises(SynopsisError):
+            loaded.graph.node(99_999)
+
+    def test_value_histograms_round_trip_both_kinds(self):
+        sketch = TwigXSketch.coarsest(
+            figure1_document(), XSketchConfig(initial_value_buckets=4)
+        )
+        loaded = sketch_from_dict(sketch_to_dict(sketch))
+        kinds = {
+            summary.histogram.kind for summary in loaded.value_stats.values()
+        }
+        assert kinds == {"numeric", "string"}
+
+    def test_movie_document_round_trip(self):
+        sketch = TwigXSketch.coarsest(movie_document())
+        loaded = sketch_from_dict(sketch_to_dict(sketch))
+        query = parse_for_clause("for m in movie, a in m/actor")
+        assert TwigEstimator(loaded).estimate(query) == pytest.approx(
+            TwigEstimator(sketch).estimate(query)
+        )

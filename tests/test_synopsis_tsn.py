@@ -1,0 +1,134 @@
+"""Tests for TSNs and exact edge distributions (paper Example 3.1)."""
+
+import pytest
+
+from repro.datasets.paperfig import figure1_document
+from repro.errors import SynopsisError
+from repro.synopsis import (
+    EdgeRef,
+    bstable_ancestors,
+    exact_edge_distribution,
+    label_split_synopsis,
+    mean_child_count,
+    stable_count_edges,
+    twig_stable_neighborhood,
+)
+
+
+@pytest.fixture()
+def synopsis():
+    return label_split_synopsis(figure1_document())
+
+
+def nid(synopsis, tag):
+    return synopsis.nodes_with_tag(tag)[0].node_id
+
+
+class TestBStableAncestors:
+    def test_paper_node(self, synopsis):
+        paper = nid(synopsis, "paper")
+        ancestors = bstable_ancestors(synopsis, paper)
+        assert nid(synopsis, "author") in ancestors
+        assert nid(synopsis, "bib") in ancestors
+        assert paper in ancestors
+
+    def test_title_chain_broken(self, synopsis):
+        # paper→title is not B-stable (book titles), so the chain above
+        # title contains only title itself.
+        title = nid(synopsis, "title")
+        assert bstable_ancestors(synopsis, title) == {title}
+
+
+class TestTSN:
+    def test_tsn_of_paper(self, synopsis):
+        tsn = twig_stable_neighborhood(synopsis, nid(synopsis, "paper"))
+        tags = {synopsis.node(n).tag for n in tsn.members}
+        # anchors: paper, author, bib; F-stable children of those:
+        # name, title, year (every paper has one), paper, author
+        assert {"paper", "author", "bib", "name", "title", "year"} <= tags
+        assert "book" not in tags  # A→B not F-stable
+        anchor_tags = {synopsis.node(n).tag for n in tsn.anchors}
+        assert anchor_tags == {"paper", "author", "bib"}
+
+    def test_stable_count_edges_at_paper(self, synopsis):
+        paper = nid(synopsis, "paper")
+        author = nid(synopsis, "author")
+        edges = stable_count_edges(synopsis, paper)
+        assert (paper, nid(synopsis, "title")) in edges
+        assert (paper, nid(synopsis, "year")) in edges
+        assert (author, nid(synopsis, "name")) in edges  # backward count
+        assert (author, paper) in edges  # backward count C_P
+        assert all(
+            synopsis.edge(s, t).forward_stable for (s, t) in edges
+        )
+
+
+class TestExample31:
+    """The edge distribution f_P(C_K, C_Y, C_P, C_N) of Example 3.1.
+
+    Roles of p4/p5 are swapped relative to the printed table (see the note
+    in repro.datasets.paperfig); the fractions and all derived quantities
+    match the paper.
+    """
+
+    def scope(self, synopsis):
+        paper = nid(synopsis, "paper")
+        author = nid(synopsis, "author")
+        return [
+            EdgeRef(paper, nid(synopsis, "keyword")),  # C_K forward
+            EdgeRef(paper, nid(synopsis, "year")),  # C_Y forward
+            EdgeRef(author, paper),  # C_P backward
+            EdgeRef(author, nid(synopsis, "name")),  # C_N backward
+        ]
+
+    def test_distribution_table(self, synopsis):
+        dist = exact_edge_distribution(
+            synopsis, nid(synopsis, "paper"), self.scope(synopsis)
+        )
+        assert dist.fraction((2, 1, 2, 1)) == pytest.approx(0.25)  # p5
+        assert dist.fraction((1, 1, 2, 1)) == pytest.approx(0.25)  # p4
+        assert dist.fraction((1, 1, 1, 1)) == pytest.approx(0.50)  # p8, p9
+        assert dist.point_count == 3
+
+    def test_example31_selectivity_formula(self, synopsis):
+        """s = Σ |P| · f_P(ck,cy,cp,cn) · ck · cn for the twig
+        (A, A/N, A/P/K) — evaluates to the exact count 5."""
+        paper_size = synopsis.node(nid(synopsis, "paper")).count
+        dist = exact_edge_distribution(
+            synopsis, nid(synopsis, "paper"), self.scope(synopsis)
+        )
+        total = sum(
+            paper_size * mass * vector[0] * vector[3]
+            for vector, mass in dist.points()
+        )
+        assert total == pytest.approx(5.0)
+
+
+class TestExactDistribution:
+    def test_forward_only(self, synopsis):
+        author = nid(synopsis, "author")
+        dist = exact_edge_distribution(
+            synopsis,
+            author,
+            [EdgeRef(author, nid(synopsis, "paper")),
+             EdgeRef(author, nid(synopsis, "book"))],
+        )
+        assert dist.fraction((2, 2)) == pytest.approx(1 / 3)  # a1
+        assert dist.fraction((1, 0)) == pytest.approx(2 / 3)  # a2, a3
+
+    def test_missing_edge_rejected(self, synopsis):
+        author = nid(synopsis, "author")
+        with pytest.raises(SynopsisError):
+            exact_edge_distribution(
+                synopsis, author, [EdgeRef(author, nid(synopsis, "keyword"))]
+            )
+
+    def test_empty_scope_rejected(self, synopsis):
+        with pytest.raises(SynopsisError):
+            exact_edge_distribution(synopsis, nid(synopsis, "author"), [])
+
+    def test_mean_child_count(self, synopsis):
+        author = nid(synopsis, "author")
+        book = nid(synopsis, "book")
+        assert mean_child_count(synopsis, author, book) == pytest.approx(2 / 3)
+        assert mean_child_count(synopsis, book, author) == 0.0

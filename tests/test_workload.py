@@ -1,0 +1,150 @@
+"""Tests for workload generation and the evaluation metric."""
+
+import pytest
+
+from repro.datasets import generate_imdb
+from repro.errors import WorkloadError
+from repro.query import count_bindings
+from repro.workload import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    average_relative_error,
+    relative_error,
+    sanity_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return generate_imdb(6000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def generator(imdb):
+    return WorkloadGenerator(imdb, WorkloadSpec(seed=5))
+
+
+@pytest.fixture(scope="module")
+def workload(generator):
+    return generator.positive_workload(40)
+
+
+class TestPositiveWorkload:
+    def test_count(self, workload):
+        assert len(workload.queries) == 40
+
+    def test_all_positive(self, workload):
+        assert all(q.true_count > 0 for q in workload.queries)
+
+    def test_true_counts_exact(self, workload, imdb):
+        for entry in workload.queries[:10]:
+            assert count_bindings(entry.query, imdb) == entry.true_count
+
+    def test_node_count_in_range(self, workload):
+        for entry in workload.queries:
+            assert 4 <= entry.query.structural_node_count() <= 8
+
+    def test_fanout_near_paper(self, workload):
+        assert 1.3 <= workload.average_fanout() <= 2.3
+
+    def test_deterministic(self, imdb):
+        first = WorkloadGenerator(imdb, WorkloadSpec(seed=9)).positive_workload(10)
+        second = WorkloadGenerator(imdb, WorkloadSpec(seed=9)).positive_workload(10)
+        assert [q.query.text() for q in first.queries] == [
+            q.query.text() for q in second.queries
+        ]
+
+    def test_p_workload_has_no_value_predicates(self, workload):
+        assert not any(
+            entry.query.has_value_predicates() for entry in workload.queries
+        )
+
+
+class TestPVWorkload:
+    def test_half_have_value_predicates(self, imdb):
+        spec = WorkloadSpec(seed=6, value_predicates=True)
+        workload = WorkloadGenerator(imdb, spec).positive_workload(60)
+        with_values = sum(
+            1 for e in workload.queries if e.query.has_value_predicates()
+        )
+        assert 12 <= with_values <= 48  # ~half, with sampling slack
+
+    def test_still_positive(self, imdb):
+        spec = WorkloadSpec(seed=6, value_predicates=True)
+        workload = WorkloadGenerator(imdb, spec).positive_workload(30)
+        assert all(q.true_count > 0 for q in workload.queries)
+
+
+class TestNegativeWorkload:
+    def test_all_zero(self, generator, imdb):
+        negative = generator.negative_workload(15)
+        assert len(negative.queries) == 15
+        for entry in negative.queries:
+            assert entry.true_count == 0
+            assert count_bindings(entry.query, imdb) == 0
+
+
+class TestMetrics:
+    def test_sanity_bound_percentile(self):
+        counts = list(range(1, 101))
+        assert sanity_bound(counts) == 10
+
+    def test_sanity_bound_ignores_zeros(self):
+        assert sanity_bound([0, 0, 5, 50, 500]) == 5
+
+    def test_sanity_bound_all_zero(self):
+        assert sanity_bound([0, 0]) == 1.0
+
+    def test_relative_error(self):
+        assert relative_error(150, 100, 10) == pytest.approx(0.5)
+        assert relative_error(5, 0, 10) == pytest.approx(0.5)
+        assert relative_error(100, 100, 10) == 0.0
+
+    def test_relative_error_uses_bound_for_small_counts(self):
+        # truth 1, bound 10: error divides by 10, not 1
+        assert relative_error(11, 1, 10) == pytest.approx(1.0)
+
+    def test_average(self):
+        estimates = [110, 90, 200]
+        truths = [100, 100, 100]
+        error = average_relative_error(estimates, truths)
+        # bound = 100 -> errors 0.1, 0.1, 1.0
+        assert error == pytest.approx(0.4)
+
+    def test_exclude_outliers(self):
+        estimates = [100, 100_000]
+        truths = [100, 100]
+        full = average_relative_error(estimates, truths)
+        trimmed = average_relative_error(estimates, truths, exclude_above=10.0)
+        assert full > 100
+        assert trimmed == pytest.approx(0.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(WorkloadError):
+            average_relative_error([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            average_relative_error([], [])
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(WorkloadError):
+            relative_error(1, 1, 0)
+
+
+class TestWorkloadStats:
+    def test_average_result(self, workload):
+        expected = sum(q.true_count for q in workload.queries) / len(
+            workload.queries
+        )
+        assert workload.average_result() == pytest.approx(expected)
+
+    def test_true_counts_order(self, workload):
+        assert workload.true_counts() == [q.true_count for q in workload.queries]
+
+    def test_empty_workload_stats(self):
+        from repro.workload import Workload
+
+        empty = Workload("empty")
+        assert empty.average_result() == 0.0
+        assert empty.average_fanout() == 0.0
