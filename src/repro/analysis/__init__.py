@@ -1,0 +1,46 @@
+"""Static analysis for the repository's own import contracts.
+
+The analyzer is pure stdlib and never imports the code under test: it
+parses every module under the given roots with :mod:`ast` and checks
+
+* the **import contract** — every internal import names a module that
+  exists and a name that module binds (:mod:`repro.analysis.contracts`);
+* the **API surface** — each package ``__all__`` matches its re-exports,
+  in both directions;
+* a small set of **lint rules** — mutable default arguments, stray
+  ``print`` in library code, import cycles, float literals where integer
+  cardinalities belong (:mod:`repro.analysis.rules`).
+
+Run as ``python -m repro.analysis src tests`` (or ``repro analyze``);
+suppress a line with ``# analysis: ignore[rule]``.
+"""
+
+from .contracts import check_cycles, check_imports, check_surface
+from .engine import (
+    analyze_paths,
+    default_roots,
+    main,
+    render_json,
+    render_text,
+)
+from .findings import RULES, Finding
+from .modules import Module, discover_modules, parse_module
+from .rules import check_all_rules, check_rules
+
+__all__ = [
+    "Finding",
+    "Module",
+    "RULES",
+    "analyze_paths",
+    "check_all_rules",
+    "check_cycles",
+    "check_imports",
+    "check_rules",
+    "check_surface",
+    "default_roots",
+    "discover_modules",
+    "main",
+    "parse_module",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,267 @@
+"""Import-contract and API-surface checking.
+
+The contract is simple: every import between repository modules must name
+a module that exists, and every from-imported name must be something its
+module actually binds.  Stdlib and third-party imports are out of scope —
+a module counts as *internal* when its top-level package was discovered
+under one of the analyzed roots, so ``repro.*`` is checked whenever
+``src`` is a root, and test helpers are checked alongside it.
+
+Three passes live here:
+
+* :func:`check_imports` — module existence and name-binding for every
+  import statement (the pass that catches a phantom ``repro.build``);
+* :func:`check_surface` — ``__all__`` versus actual re-exports for every
+  package ``__init__``, in both directions;
+* :func:`check_cycles` — module-level import cycles, reported once per
+  strongly connected component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .findings import Finding
+from .modules import ImportRecord, Module
+
+
+def _internal_tops(modules: dict[str, Module]) -> set[str]:
+    return {name.split(".", 1)[0] for name in modules}
+
+
+def _resolve_base(module: Module, record: ImportRecord) -> Optional[str]:
+    """Absolute module the from-import targets, or None when unresolvable."""
+    if record.level == 0:
+        return record.module
+    parts = module.package.split(".") if module.package else []
+    if record.level - 1 > len(parts):
+        return None
+    if record.level > 1:
+        parts = parts[: len(parts) - (record.level - 1)]
+    base = ".".join(parts)
+    if record.module:
+        base = f"{base}.{record.module}" if base else record.module
+    return base or None
+
+
+def _exports_name(target: Module, name: str,
+                  modules: dict[str, Module]) -> bool:
+    """Whether ``from target import name`` can bind statically."""
+    if f"{target.name}.{name}" in modules:
+        return True  # submodule import
+    if name in target.bindings:
+        return True
+    # a star import or module __getattr__ makes the surface dynamic;
+    # stay quiet rather than guess
+    return target.has_star_import or "__getattr__" in target.bindings
+
+
+def check_imports(modules: dict[str, Module]) -> list[Finding]:
+    """Verify module existence and name bindings for internal imports."""
+    tops = _internal_tops(modules)
+    findings: list[Finding] = []
+    for module in modules.values():
+        for record in module.imports:
+            if record.optional:
+                continue
+            if not record.is_from:
+                for dotted, line in record.names:
+                    if dotted.split(".", 1)[0] in tops \
+                            and dotted not in modules:
+                        findings.append(Finding(
+                            module.path, line, "missing-module",
+                            f"import of '{dotted}', which does not exist",
+                        ))
+                continue
+            base = _resolve_base(module, record)
+            if base is None:
+                findings.append(Finding(
+                    module.path, record.line, "missing-module",
+                    "relative import reaches beyond the top-level package",
+                ))
+                continue
+            if base.split(".", 1)[0] not in tops:
+                continue
+            target = modules.get(base)
+            if target is None:
+                findings.append(Finding(
+                    module.path, record.line, "missing-module",
+                    f"from-import of '{base}', which does not exist",
+                ))
+                continue
+            if record.star:
+                continue
+            for name, line in record.names:
+                if not _exports_name(target, name, modules):
+                    findings.append(Finding(
+                        module.path, line, "missing-name",
+                        f"'{base}' does not define '{name}'",
+                    ))
+    return findings
+
+
+def _reexported_names(module: Module,
+                      modules: dict[str, Module]) -> dict[str, int]:
+    """Public names a package ``__init__`` re-exports, with their lines.
+
+    A re-export is a module-scope from-import whose target lives inside
+    the package itself (the ``from .sub import Name`` idiom); imports
+    from elsewhere are implementation details, not surface.
+    """
+    names: dict[str, int] = {}
+    prefix = module.name + "."
+    for record in module.imports:
+        if not record.is_from or record.star or not record.module_scope:
+            continue
+        base = _resolve_base(module, record)
+        if base is None or not (base == module.name
+                                or base.startswith(prefix)):
+            continue
+        for name, line in record.names:
+            if not name.startswith("_"):
+                names.setdefault(name, line)
+    return names
+
+
+def check_surface(modules: dict[str, Module]) -> list[Finding]:
+    """Cross-validate each package ``__all__`` against its re-exports."""
+    findings: list[Finding] = []
+    for module in modules.values():
+        if not module.is_package or module.dynamic_exports:
+            continue
+        reexports = _reexported_names(module, modules)
+        if module.exports is None:
+            if reexports:
+                line = min(reexports.values())
+                findings.append(Finding(
+                    module.path, line, "missing-all",
+                    f"package '{module.name}' re-exports "
+                    f"{len(reexports)} public names but declares no "
+                    "__all__",
+                ))
+            continue
+        for name in module.exports:
+            bound = (name in module.bindings
+                     or f"{module.name}.{name}" in modules
+                     or module.has_star_import)
+            if not bound:
+                findings.append(Finding(
+                    module.path, module.exports_line, "bad-export",
+                    f"__all__ lists '{name}', which '{module.name}' "
+                    "does not bind",
+                ))
+        declared = set(module.exports)
+        for name, line in sorted(reexports.items()):
+            if name not in declared:
+                findings.append(Finding(
+                    module.path, line, "unexported-name",
+                    f"'{name}' is re-exported but missing from __all__",
+                ))
+    return findings
+
+
+def _import_edges(modules: dict[str, Module]) -> dict[str, dict[str, int]]:
+    """Module-scope internal import edges: source -> {target: line}."""
+    edges: dict[str, dict[str, int]] = {name: {} for name in modules}
+    tops = _internal_tops(modules)
+    for module in modules.values():
+        out = edges[module.name]
+        for record in module.imports:
+            if not record.module_scope:
+                continue
+            if not record.is_from:
+                for dotted, line in record.names:
+                    if dotted in modules:
+                        out.setdefault(dotted, line)
+                continue
+            base = _resolve_base(module, record)
+            if base is None or base.split(".", 1)[0] not in tops:
+                continue
+            if record.star or not record.names:
+                if base in modules:
+                    out.setdefault(base, record.line)
+                continue
+            for name, line in record.names:
+                target = f"{base}.{name}"
+                if target in modules:
+                    out.setdefault(target, line)
+                elif base in modules:
+                    out.setdefault(base, line)
+        out.pop(module.name, None)
+    return edges
+
+
+def _strongly_connected(edges: dict[str, dict[str, int]]) -> list[list[str]]:
+    """Tarjan's SCC, iterative; components with at least two modules."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(edges[root])))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = low[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(edges[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    low[node] = min(low[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+
+    for name in sorted(edges):
+        if name not in index:
+            strongconnect(name)
+    return components
+
+
+def check_cycles(modules: dict[str, Module]) -> list[Finding]:
+    """Report each module-level import cycle once.
+
+    Only module-scope imports create cycle edges: a deferred, inside-a-
+    function import is the standard way to break an import cycle, so it
+    must not re-create one here.
+    """
+    edges = _import_edges(modules)
+    findings: list[Finding] = []
+    for component in _strongly_connected(edges):
+        anchor = modules[component[0]]
+        members = set(component)
+        line = min(
+            (l for target, l in edges[anchor.name].items()
+             if target in members),
+            default=1,
+        )
+        findings.append(Finding(
+            anchor.path, line, "import-cycle",
+            "import cycle: " + " -> ".join(component + [component[0]]),
+        ))
+    return findings

@@ -1,0 +1,121 @@
+"""Analyzer driver: discovery, all passes, suppression, rendering.
+
+Run it over the repository roots::
+
+    python -m repro.analysis src tests
+
+Exit status 0 means no findings; 1 means at least one.  ``--json`` emits
+a machine-readable list instead of ``path:line: [rule] message`` lines.
+
+Suppression: append ``# analysis: ignore`` to a line to silence every
+rule there, or ``# analysis: ignore[rule-a, rule-b]`` to silence only
+those rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Iterable, Optional
+
+from .contracts import check_cycles, check_imports, check_surface
+from .findings import RULES, Finding
+from .modules import Module, discover_modules
+from .rules import check_all_rules
+
+#: roots analyzed when none are given on the command line
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples")
+
+_SUPPRESSION = re.compile(
+    r"#\s*analysis:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
+)
+
+
+def suppressed(finding: Finding, lines: list[str]) -> bool:
+    """Whether the finding's source line carries a matching suppression."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _SUPPRESSION.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    return finding.rule in {r.strip() for r in rules.split(",") if r.strip()}
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], modules: dict[str, Module]
+) -> list[Finding]:
+    by_path = {module.path: module.lines for module in modules.values()}
+    return [
+        finding for finding in findings
+        if not suppressed(finding, by_path.get(finding.path, []))
+    ]
+
+
+def analyze_paths(paths: Iterable[str]) -> list[Finding]:
+    """Run every analysis pass over the given roots; sorted findings."""
+    modules, findings = discover_modules(paths)
+    findings += check_imports(modules)
+    findings += check_surface(modules)
+    findings += check_cycles(modules)
+    findings += check_all_rules(modules)
+    return sorted(_apply_suppressions(findings, modules))
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Human-readable report, one line per finding."""
+    return "\n".join(finding.format() for finding in findings)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable report: a JSON array of finding objects."""
+    return json.dumps([finding.to_dict() for finding in findings], indent=2)
+
+
+def default_roots() -> list[str]:
+    """The standard roots that exist under the current directory."""
+    return [root for root in DEFAULT_ROOTS if os.path.isdir(root)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static import-contract and lint analysis "
+                    "for the repro repository.",
+        epilog="rules: " + ", ".join(sorted(RULES)),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze "
+             f"(default: {' '.join(DEFAULT_ROOTS)}, where present)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a JSON array",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None, stream=None) -> int:
+    """Entry point shared by ``python -m repro.analysis`` and the CLI."""
+    stream = sys.stdout if stream is None else stream
+    args = build_parser().parse_args(argv)
+    paths = args.paths or default_roots()
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        sys.stderr.write(
+            "error: no such path: " + ", ".join(missing) + "\n"
+        )
+        return 2
+    findings = analyze_paths(paths)
+    report = render_json(findings) if args.json else render_text(findings)
+    if report:
+        stream.write(report + "\n")
+    if findings and not args.json:
+        stream.write(f"{len(findings)} finding(s)\n")
+    return 1 if findings else 0

@@ -1,0 +1,52 @@
+"""Finding model and rule registry for the static analyzer.
+
+A :class:`Finding` is one violation at one source location, tagged with a
+stable rule identifier from :data:`RULES`.  Rule ids are part of the
+tool's contract: tests assert on them, CI logs key on them, and the
+``# analysis: ignore[rule]`` suppression syntax names them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: rule id -> one-line description (the analyzer's complete rule surface)
+RULES: dict[str, str] = {
+    "syntax-error": "file does not parse as Python",
+    "missing-module": "import of a repository module that does not exist",
+    "missing-name": "from-import of a name its module never defines",
+    "bad-export": "__all__ lists a name the module does not bind",
+    "unexported-name": "public re-export missing from the package __all__",
+    "missing-all": "package __init__ re-exports names without an __all__",
+    "import-cycle": "module-level import cycle between repository modules",
+    "mutable-default": "mutable default argument (list/dict/set)",
+    "stray-print": "print() call in library code",
+    "float-count": "float literal where an integer cardinality is required",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, rule, message) so sorted findings read in
+    file order — the order both renderers emit.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line: [rule] message`` — the text-mode output line."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (machine-readable output mode)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,311 @@
+"""Module discovery and per-module fact extraction.
+
+The analyzer is purely static: it never imports the code it checks.  This
+module walks the given roots, maps files to dotted module names by their
+``__init__.py`` chains (so ``src/repro/build/xbuild.py`` becomes
+``repro.build.xbuild`` regardless of which root was passed), parses each
+file once, and extracts the facts every later pass consumes:
+
+* top-level name bindings (definitions, assignments, imports);
+* the static ``__all__`` list, when one is declared;
+* every import statement, with its scope (module-level or deferred) and
+  whether a ``try/except ImportError`` makes it optional.
+
+Directories named in :data:`EXCLUDED_DIRS` (caches, fixtures,
+``*.egg-info``) are skipped while walking — but a root passed explicitly
+is always analyzed, which is how the test fixture under
+``tests/fixtures/`` gets checked without polluting normal runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .findings import Finding
+
+#: directory names never descended into while walking a root
+EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "node_modules", "fixtures"}
+)
+
+_TRY_NODES = (ast.Try,) + (
+    (ast.TryStar,) if hasattr(ast, "TryStar") else ()
+)
+
+_OPTIONAL_EXCEPTIONS = {"ImportError", "ModuleNotFoundError"}
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One ``import``/``from-import`` statement, as written.
+
+    ``module`` is the raw dotted text after ``from`` (empty for
+    ``from . import x``); plain ``import a.b`` statements store each alias
+    as a name with ``is_from=False``.  Resolution against the discovered
+    module set happens later, in :mod:`repro.analysis.contracts`.
+    """
+
+    module: str
+    names: tuple[tuple[str, int], ...]
+    level: int
+    line: int
+    is_from: bool
+    star: bool
+    module_scope: bool
+    optional: bool
+
+
+@dataclass
+class Module:
+    """One discovered source file and the facts extracted from it."""
+
+    name: str
+    path: str
+    is_package: bool
+    bindings: set[str] = field(default_factory=set)
+    exports: Optional[list[str]] = None
+    exports_line: int = 1
+    dynamic_exports: bool = False
+    imports: list[ImportRecord] = field(default_factory=list)
+    has_star_import: bool = False
+    lines: list[str] = field(default_factory=list)
+    tree: Optional[ast.Module] = None
+
+    @property
+    def package(self) -> str:
+        """The package relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else ""
+
+
+def _module_name(path: str) -> str:
+    """Dotted name from the file's ``__init__.py`` ancestor chain."""
+    directory, filename = os.path.split(os.path.abspath(path))
+    stem = filename[: -len(".py")]
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.insert(0, package)
+    return ".".join(parts) if parts else stem
+
+
+def _bind_target(target: ast.expr, names: set[str]) -> None:
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_target(element, names)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, names)
+
+
+def _static_strings(node: ast.expr) -> Optional[list[str]]:
+    """The literal string elements of a list/tuple, or None if dynamic."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return values
+
+
+def _catches_import_error(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    kinds = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+    for item in kinds:
+        if isinstance(item, ast.Name) and item.id in _OPTIONAL_EXCEPTIONS:
+            return True
+    return False
+
+
+class _Extractor:
+    """Single pass over a parsed module collecting bindings and imports."""
+
+    def __init__(self, module: Module):
+        self.module = module
+
+    def run(self, tree: ast.Module) -> None:
+        self._exports(tree)
+        self._walk(tree.body, top_level=True, module_scope=True,
+                   optional=False)
+
+    def _exports(self, tree: ast.Module) -> None:
+        module = self.module
+        for statement in tree.body:
+            value, targets = None, []
+            if isinstance(statement, ast.Assign):
+                value, targets = statement.value, statement.targets
+            elif isinstance(statement, ast.AugAssign):
+                value, targets = statement.value, [statement.target]
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                value, targets = statement.value, [statement.target]
+            named_all = any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in targets
+            )
+            if not named_all:
+                continue
+            strings = _static_strings(value)
+            module.exports_line = statement.lineno
+            if strings is None:
+                module.dynamic_exports = True
+            elif isinstance(statement, ast.AugAssign):
+                module.exports = (module.exports or []) + strings
+            else:
+                module.exports = strings
+
+    def _walk(self, statements: Iterable[ast.stmt], *, top_level: bool,
+              module_scope: bool, optional: bool) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.Import):
+                self._record_import(statement, module_scope, optional)
+                if top_level:
+                    for alias in statement.names:
+                        self.module.bindings.add(
+                            alias.asname or alias.name.split(".")[0]
+                        )
+            elif isinstance(statement, ast.ImportFrom):
+                self._record_from(statement, module_scope, optional)
+                if top_level:
+                    for alias in statement.names:
+                        if alias.name != "*":
+                            self.module.bindings.add(
+                                alias.asname or alias.name
+                            )
+            elif isinstance(statement, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                if top_level:
+                    self.module.bindings.add(statement.name)
+                self._walk(statement.body, top_level=False,
+                           module_scope=False, optional=optional)
+            elif isinstance(statement, ast.ClassDef):
+                if top_level:
+                    self.module.bindings.add(statement.name)
+                self._walk(statement.body, top_level=False,
+                           module_scope=module_scope, optional=optional)
+            elif isinstance(statement, ast.Assign):
+                if top_level:
+                    for target in statement.targets:
+                        _bind_target(target, self.module.bindings)
+            elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+                if top_level:
+                    _bind_target(statement.target, self.module.bindings)
+            elif isinstance(statement, _TRY_NODES):
+                guarded = optional or any(
+                    _catches_import_error(h) for h in statement.handlers
+                )
+                self._walk(statement.body, top_level=top_level,
+                           module_scope=module_scope, optional=guarded)
+                for handler in statement.handlers:
+                    self._walk(handler.body, top_level=top_level,
+                               module_scope=module_scope, optional=optional)
+                self._walk(statement.orelse, top_level=top_level,
+                           module_scope=module_scope, optional=optional)
+                self._walk(statement.finalbody, top_level=top_level,
+                           module_scope=module_scope, optional=optional)
+            elif isinstance(statement, (ast.If, ast.For, ast.AsyncFor,
+                                        ast.While)):
+                self._walk(statement.body, top_level=top_level,
+                           module_scope=module_scope, optional=optional)
+                self._walk(statement.orelse, top_level=top_level,
+                           module_scope=module_scope, optional=optional)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                self._walk(statement.body, top_level=top_level,
+                           module_scope=module_scope, optional=optional)
+
+    def _record_import(self, statement: ast.Import, module_scope: bool,
+                       optional: bool) -> None:
+        self.module.imports.append(ImportRecord(
+            module="",
+            names=tuple(
+                (alias.name, statement.lineno) for alias in statement.names
+            ),
+            level=0,
+            line=statement.lineno,
+            is_from=False,
+            star=False,
+            module_scope=module_scope,
+            optional=optional,
+        ))
+
+    def _record_from(self, statement: ast.ImportFrom, module_scope: bool,
+                     optional: bool) -> None:
+        star = any(alias.name == "*" for alias in statement.names)
+        if star:
+            self.module.has_star_import = True
+        self.module.imports.append(ImportRecord(
+            module=statement.module or "",
+            names=tuple(
+                (alias.name, statement.lineno)
+                for alias in statement.names if alias.name != "*"
+            ),
+            level=statement.level,
+            line=statement.lineno,
+            is_from=True,
+            star=star,
+            module_scope=module_scope,
+            optional=optional,
+        ))
+
+
+def _python_files(root: str) -> list[str]:
+    if os.path.isfile(root):
+        return [root] if root.endswith(".py") else []
+    found: list[str] = []
+    for directory, subdirs, files in os.walk(root):
+        subdirs[:] = sorted(
+            d for d in subdirs
+            if d not in EXCLUDED_DIRS and not d.endswith(".egg-info")
+        )
+        for filename in sorted(files):
+            if filename.endswith(".py"):
+                found.append(os.path.join(directory, filename))
+    return found
+
+
+def parse_module(path: str) -> tuple[Optional[Module], Optional[Finding]]:
+    """Parse one file into a :class:`Module`, or a syntax-error finding."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return None, Finding(path, error.lineno or 1, "syntax-error",
+                             str(error.msg))
+    module = Module(
+        name=_module_name(path),
+        path=path,
+        is_package=os.path.basename(path) == "__init__.py",
+        lines=source.splitlines(),
+    )
+    _Extractor(module).run(tree)
+    module.tree = tree
+    return module, None
+
+
+def discover_modules(
+    roots: Iterable[str],
+) -> tuple[dict[str, Module], list[Finding]]:
+    """All modules reachable from ``roots``, keyed by dotted name.
+
+    Returns the module map plus any syntax-error findings.  When two
+    files map to the same dotted name the first root wins — roots are
+    processed in the order given.
+    """
+    modules: dict[str, Module] = {}
+    findings: list[Finding] = []
+    for root in roots:
+        for path in _python_files(root):
+            module, finding = parse_module(path)
+            if finding is not None:
+                findings.append(finding)
+            elif module is not None and module.name not in modules:
+                modules[module.name] = module
+    return modules, findings

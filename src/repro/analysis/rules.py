@@ -1,0 +1,116 @@
+"""Paper-specific lint rules, run per module over its parsed AST.
+
+These are the rules the reproduction has actually been bitten by (or
+would be):
+
+* ``mutable-default`` — a ``list``/``dict``/``set`` default argument is
+  shared across calls; with frozen-dataclass refinements and memo caches
+  everywhere, an aliased default silently corrupts candidate scoring.
+* ``stray-print`` — library modules must stay quiet; only the CLI veneer
+  (``cli.py``, ``__main__.py``) talks to stdout.
+* ``float-count`` — the histogram layer stores integer cardinalities
+  (bucket budgets, edge counts); a float literal in one of those slots
+  means someone passed a byte budget or an average where a count belongs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .modules import Module
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+#: histogram-layer operations whose numeric arguments are cardinalities
+_COUNT_OPS = {
+    "make_edge_histogram",
+    "make_value_summary",
+    "make_extended_summary",
+    "build_value_histogram",
+    "edge_histogram_bytes",
+    "value_histogram_bytes",
+}
+
+#: library modules allowed to print: CLI entry points and rendering shims
+_PRINT_EXEMPT_BASENAMES = {"cli", "__main__", "conftest"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+def _callee_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _print_exempt(module: Module) -> bool:
+    """Library code only: scripts, tests, and CLI shims may print."""
+    if "." not in module.name and not module.is_package:
+        return True  # standalone script (examples/, benchmarks/)
+    top = module.name.split(".", 1)[0]
+    basename = module.name.rsplit(".", 1)[-1]
+    return (top == "tests"
+            or basename.startswith("test_")
+            or basename in _PRINT_EXEMPT_BASENAMES)
+
+
+def check_rules(module: Module) -> list[Finding]:
+    """Run every AST lint rule over one module."""
+    if module.tree is None:
+        return []
+    findings: list[Finding] = []
+    print_exempt = _print_exempt(module)
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    findings.append(Finding(
+                        module.path, default.lineno, "mutable-default",
+                        "mutable default argument is shared across calls; "
+                        "use None and create inside",
+                    ))
+        elif isinstance(node, ast.Call):
+            callee = _callee_name(node)
+            if (callee == "print"
+                    and isinstance(node.func, ast.Name)
+                    and not print_exempt):
+                findings.append(Finding(
+                    module.path, node.lineno, "stray-print",
+                    "print() in library code; return or log instead",
+                ))
+            elif callee in _COUNT_OPS:
+                values = list(node.args) + [
+                    k.value for k in node.keywords if k.arg is not None
+                ]
+                for argument in values:
+                    if (isinstance(argument, ast.Constant)
+                            and isinstance(argument.value, float)):
+                        findings.append(Finding(
+                            module.path, argument.lineno, "float-count",
+                            f"float literal passed to {callee}(); "
+                            "cardinalities are integers",
+                        ))
+    return findings
+
+
+def check_all_rules(modules: dict[str, Module]) -> list[Finding]:
+    """Lint every discovered module."""
+    findings: list[Finding] = []
+    for module in modules.values():
+        findings.extend(check_rules(module))
+    return findings

@@ -1,0 +1,203 @@
+"""The XBUILD construction algorithm (paper Section 5).
+
+XBUILD grows a Twig XSKETCH greedily from the label-split synopsis
+``S_0(G)``: each round it draws a pool of applicable refinement candidates
+(:func:`repro.build.sampling.generate_candidates`), measures the marginal
+error reduction of each on a handful of twig queries sampled around the
+candidate's region, and applies the candidate with the best
+error-reduction-per-byte score.  The loop stops when the synopsis reaches
+the byte budget (or candidates dry up).
+
+Determinism: all randomness flows from the ``seed`` argument, so a given
+(document, budget, seed) triple always builds the same synopsis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..doc.tree import DocumentTree
+from ..errors import BuildError
+from ..estimation.estimator import TwigEstimator
+from ..synopsis.summary import TwigXSketch, XSketchConfig
+from ..workload.metrics import average_relative_error
+from .oracles import ExactOracle
+from .refinements import Refinement
+from .sampling import RegionSampler, generate_candidates
+
+#: rounds without an applicable size-increasing candidate before giving up
+_MAX_STALL_ROUNDS = 5
+
+#: hard iteration backstop (well above any realistic budget)
+_MAX_STEPS = 2000
+
+
+@dataclass(frozen=True)
+class BuildStep:
+    """One applied refinement: its label, the resulting size, its gain.
+
+    The first word of ``description`` is the refinement kind (the CLI
+    aggregates on it); ``gain`` is the measured error reduction on the
+    sampled queries (possibly ≤ 0 when the step was chosen for growth).
+    """
+
+    description: str
+    size_bytes: int
+    gain: float
+
+
+@dataclass
+class XBuildResult:
+    """The constructed synopsis and the refinement trail behind it."""
+
+    sketch: TwigXSketch
+    steps: list[BuildStep]
+
+
+@dataclass
+class _Scored:
+    """A candidate evaluated against the current sketch."""
+
+    candidate: Refinement
+    refined: TwigXSketch
+    size_bytes: int
+    gain: float
+    score: float
+
+
+class XBuild:
+    """Greedy Twig XSKETCH construction.
+
+    Args:
+        tree: the document to summarize.
+        budget_bytes: target synopsis size (the loop stops at the first
+            size at or above it; the last step may overshoot slightly).
+        config: synopsis configuration (engine, budgets, backward counts).
+        seed: randomness seed for candidate and query sampling.
+        sample_queries: queries sampled per refinement region.
+        sample_value_probability: chance of value predicates in sampled
+            queries — raise it when tuning for value-predicated workloads.
+        max_candidates: per-round candidate pool cap.
+        oracle: truth oracle; defaults to :class:`ExactOracle` on ``tree``.
+        on_step: callback invoked with the growing sketch after each
+            applied refinement (the experiment sweep snapshots through it).
+    """
+
+    def __init__(
+        self,
+        tree: DocumentTree,
+        budget_bytes: int,
+        config: Optional[XSketchConfig] = None,
+        *,
+        seed: int = 17,
+        sample_queries: int = 8,
+        sample_value_probability: float = 0.0,
+        max_candidates: Optional[int] = None,
+        oracle=None,
+        on_step: Optional[Callable[[TwigXSketch], None]] = None,
+    ):
+        self.tree = tree
+        self.budget_bytes = budget_bytes
+        self.config = config or XSketchConfig()
+        self.rng = random.Random(seed)
+        self.sample_queries = sample_queries
+        self.max_candidates = max_candidates
+        self.oracle = oracle if oracle is not None else ExactOracle(tree)
+        self.on_step = on_step
+        self.sampler = RegionSampler(
+            tree, self.rng, value_probability=sample_value_probability
+        )
+
+    def run(self) -> XBuildResult:
+        """Build the synopsis; sizes along ``steps`` increase monotonically."""
+        sketch = TwigXSketch.coarsest(self.tree, self.config)
+        steps: list[BuildStep] = []
+        size = sketch.size_bytes()
+        stall = 0
+        while (
+            size < self.budget_bytes
+            and stall < _MAX_STALL_ROUNDS
+            and len(steps) < _MAX_STEPS
+        ):
+            best = self._best_candidate(sketch, size)
+            if best is None:
+                stall += 1  # redraw a fresh pool before giving up
+                continue
+            stall = 0
+            sketch = best.refined
+            size = best.size_bytes
+            steps.append(
+                BuildStep(best.candidate.describe(), size, best.gain)
+            )
+            if self.on_step is not None:
+                self.on_step(sketch)
+        return XBuildResult(sketch, steps)
+
+    # ------------------------------------------------------------------
+    def _best_candidate(
+        self, sketch: TwigXSketch, size: int
+    ) -> Optional[_Scored]:
+        """Evaluate one round's candidate pool; None when nothing grows.
+
+        Only size-increasing candidates qualify (monotone growth toward the
+        budget); among them the best error-reduction-per-byte wins, ties
+        broken toward the cheaper refinement.
+        """
+        pool = generate_candidates(sketch, self.rng, self.max_candidates)
+        base_estimator = TwigEstimator(sketch)
+        # queries, truths, and base error are shared across candidates
+        # with the same region — one sampling round per region.
+        measured: dict[frozenset, tuple[list, list, float]] = {}
+        best: Optional[_Scored] = None
+        for candidate in pool:
+            try:
+                refined = candidate.apply(sketch)
+            except BuildError:
+                continue
+            refined_size = refined.size_bytes()
+            delta = refined_size - size
+            if delta <= 0:
+                continue
+            region = frozenset(candidate.region())
+            if region not in measured:
+                queries = self.sampler.sample_for_regions(
+                    sketch, region, queries=self.sample_queries
+                )
+                truths = [self.oracle.true_count(q) for q in queries]
+                base_error = (
+                    average_relative_error(
+                        [base_estimator.estimate(q) for q in queries], truths
+                    )
+                    if queries
+                    else 0.0
+                )
+                measured[region] = (queries, truths, base_error)
+            queries, truths, base_error = measured[region]
+            if queries:
+                estimator = TwigEstimator(refined)
+                refined_error = average_relative_error(
+                    [estimator.estimate(q) for q in queries], truths
+                )
+                gain = base_error - refined_error
+            else:
+                gain = 0.0
+            score = gain / delta
+            if (
+                best is None
+                or score > best.score
+                or (score == best.score and refined_size < best.size_bytes)
+            ):
+                best = _Scored(candidate, refined, refined_size, gain, score)
+        return best
+
+
+def xbuild(
+    tree: DocumentTree,
+    budget_bytes: int,
+    config: Optional[XSketchConfig] = None,
+    **kwargs,
+) -> TwigXSketch:
+    """Convenience wrapper: run :class:`XBuild` and return the sketch."""
+    return XBuild(tree, budget_bytes, config, **kwargs).run().sketch

@@ -11,7 +11,9 @@ Commands:
 * ``workload FILE.xml [--queries N] [--values]`` — generate a positive
   workload and print its Table 2 characteristics;
 * ``demo [--dataset imdb|xmark|sprot] [--scale N]`` — run the estimate
-  flow on a built-in synthetic data set (no input file needed).
+  flow on a built-in synthetic data set (no input file needed);
+* ``analyze [PATHS...] [--json]`` — run the static import-contract
+  analyzer (same engine as ``python -m repro.analysis``).
 
 The CLI is a thin veneer over the public API; every command maps to a few
 library calls shown in README.md.
@@ -20,9 +22,11 @@ library calls shown in README.md.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections import Counter
 
+from .analysis import analyze_paths, default_roots, render_json, render_text
 from .build import XBuild
 from .datasets import generate_imdb, generate_sprot, generate_xmark
 from .doc import document_stats, parse_file
@@ -135,6 +139,20 @@ def cmd_workload(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    paths = args.paths or default_roots()
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        raise ReproError("no such path: " + ", ".join(missing))
+    findings = analyze_paths(paths)
+    report = render_json(findings) if args.json else render_text(findings)
+    if report:
+        print(report)
+    if findings and not args.json:
+        print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--budget", type=float, default=8.0, help="KB")
     demo.add_argument("--exact", action="store_true", default=True)
     demo.set_defaults(handler=cmd_estimate, file=None)
+
+    analyze = commands.add_parser(
+        "analyze", help="run the static import-contract analyzer"
+    )
+    analyze.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze "
+             "(default: src tests benchmarks examples, where present)",
+    )
+    analyze.add_argument("--json", action="store_true",
+                         help="emit findings as a JSON array")
+    analyze.set_defaults(handler=cmd_analyze)
 
     return parser
 

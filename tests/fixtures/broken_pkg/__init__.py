@@ -1,0 +1,6 @@
+"""Deliberately broken package exercised by tests/test_analysis.py."""
+
+from .a import accumulate
+from .missing import thing
+
+__all__ = ["thing", "phantom"]

@@ -1,0 +1,22 @@
+"""Half of an import cycle, plus one of each lint-rule violation."""
+
+from .b import beta, gamma, make_edge_histogram
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def debug(item):
+    print(item)
+    return item
+
+
+def quiet(item):
+    print(item)  # analysis: ignore[stray-print]
+    return item
+
+
+def sketch():
+    return make_edge_histogram("node", ("edge",), 8.0)

@@ -1,0 +1,9 @@
+"""Other half of the import cycle; defines what a.py imports (mostly)."""
+
+from .a import accumulate
+
+beta = 2
+
+
+def make_edge_histogram(node, scope, buckets):
+    return (node, scope, buckets, accumulate)

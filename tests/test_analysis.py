@@ -1,0 +1,126 @@
+"""Tests for the ``repro.analysis`` static analyzer.
+
+The broken fixture package under ``tests/fixtures/broken_pkg`` carries
+exactly one violation of each contract/rule family; the tests pin the
+rule id, file, and line of every expected finding, then check the real
+repository comes back clean.
+"""
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import RULES, Finding, analyze_paths
+from repro.analysis.engine import main, suppressed
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent
+FIXTURE = TESTS_DIR / "fixtures" / "broken_pkg"
+SRC = REPO_ROOT / "src"
+
+EXPECTED_FIXTURE_FINDINGS = {
+    ("missing-module", "__init__.py", 4),
+    ("bad-export", "__init__.py", 6),
+    ("unexported-name", "__init__.py", 3),
+    ("missing-name", "a.py", 3),
+    ("import-cycle", "a.py", 3),
+    ("mutable-default", "a.py", 6),
+    ("stray-print", "a.py", 12),
+    ("float-count", "a.py", 22),
+}
+
+
+def test_fixture_findings_pin_rule_file_and_line():
+    findings = analyze_paths([str(FIXTURE)])
+    observed = {
+        (f.rule, Path(f.path).name, f.line) for f in findings
+    }
+    assert observed == EXPECTED_FIXTURE_FINDINGS
+
+
+def test_fixture_messages_name_the_offender():
+    findings = analyze_paths([str(FIXTURE)])
+    by_rule = {f.rule: f.message for f in findings}
+    assert "broken_pkg.missing" in by_rule["missing-module"]
+    assert "'phantom'" in by_rule["bad-export"]
+    assert "'gamma'" in by_rule["missing-name"]
+    assert "broken_pkg.a -> broken_pkg.b" in by_rule["import-cycle"]
+
+
+def test_suppression_comment_hides_the_ignored_rule():
+    findings = analyze_paths([str(FIXTURE)])
+    # line 17 prints too, but carries `# analysis: ignore[stray-print]`
+    assert not any(f.line == 17 for f in findings)
+
+
+def test_suppressed_matches_bare_and_bracketed_forms():
+    finding = Finding("x.py", 1, "stray-print", "msg")
+    assert suppressed(finding, ["print(1)  # analysis: ignore"])
+    assert suppressed(finding, ["print(1)  # analysis: ignore[stray-print]"])
+    assert not suppressed(
+        finding, ["print(1)  # analysis: ignore[mutable-default]"]
+    )
+    assert not suppressed(finding, ["print(1)"])
+
+
+def test_every_reported_rule_is_registered():
+    findings = analyze_paths([str(FIXTURE)])
+    assert {f.rule for f in findings} <= set(RULES)
+
+
+def test_repository_sources_are_clean():
+    assert analyze_paths([str(SRC), str(TESTS_DIR)]) == []
+
+
+def test_fixture_directory_is_skipped_under_the_tests_root():
+    findings = analyze_paths([str(TESTS_DIR)])
+    assert not any("broken_pkg" in f.path for f in findings)
+
+
+def test_json_mode_is_machine_readable():
+    stream = io.StringIO()
+    code = main(["--json", str(FIXTURE)], stream=stream)
+    assert code == 1
+    payload = json.loads(stream.getvalue())
+    assert len(payload) == len(EXPECTED_FIXTURE_FINDINGS)
+    assert all(
+        set(entry) == {"path", "line", "rule", "message"}
+        for entry in payload
+    )
+
+
+def test_clean_run_exits_zero_with_no_output():
+    stream = io.StringIO()
+    code = main([str(SRC), str(TESTS_DIR)], stream=stream)
+    assert code == 0
+    assert stream.getvalue() == ""
+
+
+def _run_module(*paths):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *paths],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+
+
+def test_module_entry_point_exit_codes():
+    broken = _run_module("tests/fixtures/broken_pkg")
+    assert broken.returncode == 1
+    assert "[missing-module]" in broken.stdout
+    clean = _run_module("src", "tests")
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+
+
+def test_nonexistent_path_is_a_usage_error():
+    code = _run_module("no-such-directory").returncode
+    assert code == 2
+    stream = io.StringIO()
+    assert main([str(FIXTURE), "no-such-directory"], stream=stream) == 2
+    assert stream.getvalue() == ""
