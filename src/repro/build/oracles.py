@@ -21,6 +21,7 @@ from ..doc.tree import DocumentTree
 from ..estimation.estimator import TwigEstimator
 from ..query.ast import TwigQuery
 from ..query.evaluator import count_bindings
+from ..resilience.faults import SITE_ORACLE, fault_check
 from ..synopsis.distributions import EdgeRef
 from ..synopsis.graph import GraphSynopsis, label_split_synopsis
 from ..synopsis.summary import TwigXSketch, XSketchConfig
@@ -42,6 +43,7 @@ class ExactOracle:
 
     def true_count(self, query: TwigQuery) -> int:
         """Exact number of binding tuples of ``query`` in the document."""
+        fault_check(SITE_ORACLE)
         key = query.text()
         if key not in self._cache:
             self._cache[key] = count_bindings(query, self.tree)
@@ -131,6 +133,7 @@ class SketchOracle:
 
     def true_count(self, query: TwigQuery) -> float:
         """Reference-summary estimate of the query's selectivity."""
+        fault_check(SITE_ORACLE)
         key = query.text()
         if key not in self._cache:
             self._cache[key] = self._estimator.estimate(query)

@@ -10,27 +10,51 @@ the byte budget (or candidates dry up).
 
 Determinism: all randomness flows from the ``seed`` argument, so a given
 (document, budget, seed) triple always builds the same synopsis.
+
+Resilience (:mod:`repro.resilience`): a build can carry a wall-clock
+``deadline`` (or a full :class:`~repro.resilience.guards.Budget`), write a
+:class:`~repro.resilience.checkpoint.BuildCheckpoint` every
+``checkpoint_every`` applied refinements, and ``resume_from`` such a
+checkpoint — the resumed build replays the refinement trail over the
+coarsest synopsis and restores the RNG state, so it is bit-identical to
+the uninterrupted build.  When a budget runs out the loop returns the
+best-so-far sketch with ``truncated=True`` instead of raising.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
 
 from ..doc.tree import DocumentTree
-from ..errors import BuildError
+from ..errors import BuildError, CheckpointError, ResourceLimitError
 from ..estimation.estimator import TwigEstimator
+from ..resilience.checkpoint import (
+    BuildCheckpoint,
+    config_signature,
+    load_checkpoint,
+    save_checkpoint,
+    tree_fingerprint,
+)
+from ..resilience.faults import (
+    SITE_BUILD_APPLY,
+    SITE_BUILD_ROUND,
+    SITE_BUILD_STEP,
+    fault_check,
+)
+from ..resilience.guards import Budget
+from ..synopsis.persist import sketch_to_dict
 from ..synopsis.summary import TwigXSketch, XSketchConfig
 from ..workload.metrics import average_relative_error
 from .oracles import ExactOracle
 from .refinements import Refinement
 from .sampling import RegionSampler, generate_candidates
 
-#: rounds without an applicable size-increasing candidate before giving up
+#: default rounds without a size-increasing candidate before giving up
 _MAX_STALL_ROUNDS = 5
 
-#: hard iteration backstop (well above any realistic budget)
+#: default hard iteration backstop (well above any realistic budget)
 _MAX_STEPS = 2000
 
 
@@ -50,10 +74,18 @@ class BuildStep:
 
 @dataclass
 class XBuildResult:
-    """The constructed synopsis and the refinement trail behind it."""
+    """The constructed synopsis and the refinement trail behind it.
+
+    ``truncated`` is True when the build stopped early — deadline or
+    resource budget exhausted, or the step backstop hit — in which case
+    ``sketch`` is the best synopsis reached so far and ``reason`` says
+    what cut the build short (``"completed"`` otherwise).
+    """
 
     sketch: TwigXSketch
     steps: list[BuildStep]
+    truncated: bool = False
+    reason: str = "completed"
 
 
 @dataclass
@@ -65,6 +97,16 @@ class _Scored:
     size_bytes: int
     gain: float
     score: float
+
+
+@dataclass
+class _LoopState:
+    """The in-flight build state (everything a checkpoint captures)."""
+
+    sketch: TwigXSketch
+    steps: list[BuildStep] = field(default_factory=list)
+    trail: list[Refinement] = field(default_factory=list)
+    stall: int = 0
 
 
 class XBuild:
@@ -83,6 +125,22 @@ class XBuild:
         oracle: truth oracle; defaults to :class:`ExactOracle` on ``tree``.
         on_step: callback invoked with the growing sketch after each
             applied refinement (the experiment sweep snapshots through it).
+        max_stall_rounds: rounds without a size-increasing candidate
+            before the build concludes it has converged.
+        max_steps: hard cap on applied refinements; hitting it flags the
+            result ``truncated``.
+        deadline: wall-clock budget in seconds — shorthand for passing
+            ``guard=Budget(deadline=...)``.
+        guard: a full :class:`~repro.resilience.guards.Budget`; overrides
+            ``deadline`` when given.
+        checkpoint_every: write a checkpoint after every N applied
+            refinements (``None`` disables checkpointing).
+        checkpoint_path: where periodic checkpoints are saved; without a
+            path checkpoints are only kept in-memory (``last_checkpoint``).
+        resume_from: a checkpoint path or :class:`BuildCheckpoint` to
+            continue from; its identity (document fingerprint, seed,
+            budget, config) must match this build or
+            :class:`~repro.errors.CheckpointError` is raised.
     """
 
     def __init__(
@@ -97,43 +155,149 @@ class XBuild:
         max_candidates: Optional[int] = None,
         oracle=None,
         on_step: Optional[Callable[[TwigXSketch], None]] = None,
+        max_stall_rounds: int = _MAX_STALL_ROUNDS,
+        max_steps: int = _MAX_STEPS,
+        deadline: Optional[float] = None,
+        guard: Optional[Budget] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path=None,
+        resume_from: Union[None, str, BuildCheckpoint] = None,
     ):
+        if max_stall_rounds < 1:
+            raise BuildError("max_stall_rounds must be at least 1")
+        if max_steps < 1:
+            raise BuildError("max_steps must be at least 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise BuildError("checkpoint_every must be at least 1")
         self.tree = tree
         self.budget_bytes = budget_bytes
         self.config = config or XSketchConfig()
+        self.seed = seed
         self.rng = random.Random(seed)
         self.sample_queries = sample_queries
         self.max_candidates = max_candidates
         self.oracle = oracle if oracle is not None else ExactOracle(tree)
         self.on_step = on_step
+        self.max_stall_rounds = max_stall_rounds
+        self.max_steps = max_steps
+        self._guard = guard if guard is not None else Budget(deadline=deadline)
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.resume_from = resume_from
+        #: the most recent checkpoint written by this build (or None)
+        self.last_checkpoint: Optional[BuildCheckpoint] = None
         self.sampler = RegionSampler(
             tree, self.rng, value_probability=sample_value_probability
         )
 
     def run(self) -> XBuildResult:
         """Build the synopsis; sizes along ``steps`` increase monotonically."""
+        state = self._initial_state()
+        size = state.sketch.size_bytes()
+        truncated = False
+        reason = "completed"
+        try:
+            while (
+                size < self.budget_bytes
+                and state.stall < self.max_stall_rounds
+            ):
+                if len(state.steps) >= self.max_steps:
+                    truncated = True
+                    reason = f"step limit ({self.max_steps}) reached"
+                    break
+                self._guard.check_deadline("XBUILD round")
+                fault_check(SITE_BUILD_ROUND)
+                best = self._best_candidate(state.sketch, size)
+                if best is None:
+                    state.stall += 1  # redraw a fresh pool before giving up
+                    continue
+                state.stall = 0
+                state.sketch = best.refined
+                size = best.size_bytes
+                state.steps.append(
+                    BuildStep(best.candidate.describe(), size, best.gain)
+                )
+                state.trail.append(best.candidate)
+                self._maybe_checkpoint(state)
+                # after the checkpoint write: a fault here lands exactly at
+                # the boundary the resume tests interrupt at
+                fault_check(SITE_BUILD_STEP)
+                if self.on_step is not None:
+                    self.on_step(state.sketch)
+        except ResourceLimitError as error:
+            # budget exhausted mid-build: checkpoint what we have and
+            # return the best-so-far sketch instead of losing the work
+            truncated = True
+            reason = str(error)
+            self._write_checkpoint(state)
+        return XBuildResult(
+            state.sketch, state.steps, truncated=truncated, reason=reason
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def _initial_state(self) -> _LoopState:
+        """The loop's starting state: coarsest synopsis, or a resumed one."""
         sketch = TwigXSketch.coarsest(self.tree, self.config)
-        steps: list[BuildStep] = []
-        size = sketch.size_bytes()
-        stall = 0
-        while (
-            size < self.budget_bytes
-            and stall < _MAX_STALL_ROUNDS
-            and len(steps) < _MAX_STEPS
+        if self.resume_from is None:
+            return _LoopState(sketch)
+        checkpoint = (
+            self.resume_from
+            if isinstance(self.resume_from, BuildCheckpoint)
+            else load_checkpoint(self.resume_from)
+        )
+        checkpoint.verify_compatible(
+            seed=self.seed,
+            budget_bytes=self.budget_bytes,
+            config=config_signature(self.config),
+            fingerprint=tree_fingerprint(self.tree),
+        )
+        trail: list[Refinement] = []
+        for refinement in checkpoint.trail:
+            try:
+                sketch = refinement.apply(sketch)
+            except BuildError as exc:
+                raise CheckpointError(
+                    f"cannot replay checkpointed refinement "
+                    f"{refinement.describe()!r}: {exc}"
+                ) from exc
+            trail.append(refinement)
+        steps = [BuildStep(**entry) for entry in checkpoint.steps]
+        if checkpoint.rng_state is not None:
+            self.rng.setstate(checkpoint.rng_state)
+        return _LoopState(sketch, steps, trail, checkpoint.stall)
+
+    def _maybe_checkpoint(self, state: _LoopState) -> None:
+        if (
+            self.checkpoint_every is not None
+            and state.steps
+            and len(state.steps) % self.checkpoint_every == 0
         ):
-            best = self._best_candidate(sketch, size)
-            if best is None:
-                stall += 1  # redraw a fresh pool before giving up
-                continue
-            stall = 0
-            sketch = best.refined
-            size = best.size_bytes
-            steps.append(
-                BuildStep(best.candidate.describe(), size, best.gain)
-            )
-            if self.on_step is not None:
-                self.on_step(sketch)
-        return XBuildResult(sketch, steps)
+            self._write_checkpoint(state)
+
+    def _write_checkpoint(self, state: _LoopState) -> None:
+        checkpoint = BuildCheckpoint(
+            seed=self.seed,
+            budget_bytes=self.budget_bytes,
+            config=config_signature(self.config),
+            fingerprint=tree_fingerprint(self.tree),
+            trail=list(state.trail),
+            steps=[
+                {
+                    "description": step.description,
+                    "size_bytes": step.size_bytes,
+                    "gain": step.gain,
+                }
+                for step in state.steps
+            ],
+            rng_state=self.rng.getstate(),
+            stall=state.stall,
+            sketch_payload=sketch_to_dict(state.sketch),
+        )
+        self.last_checkpoint = checkpoint
+        if self.checkpoint_path is not None:
+            save_checkpoint(checkpoint, self.checkpoint_path)
 
     # ------------------------------------------------------------------
     def _best_candidate(
@@ -152,6 +316,8 @@ class XBuild:
         measured: dict[frozenset, tuple[list, list, float]] = {}
         best: Optional[_Scored] = None
         for candidate in pool:
+            self._guard.check_deadline("XBUILD candidate evaluation")
+            fault_check(SITE_BUILD_APPLY)
             try:
                 refined = candidate.apply(sketch)
             except BuildError:

@@ -5,6 +5,10 @@ Commands:
 * ``stats FILE.xml`` — document characteristics (Table 1 columns);
 * ``build FILE.xml --budget KB [--out sketch-info]`` — run XBUILD and
   report the constructed synopsis (node/edge/histogram inventory);
+  resilience options: ``--deadline SECONDS`` truncates a long build to
+  its best-so-far synopsis, ``--checkpoint PATH --checkpoint-every N``
+  persist in-flight state, and ``--resume PATH`` continues an
+  interrupted build bit-identically;
 * ``estimate FILE.xml --query 'for ...' --budget KB [--exact]`` — build a
   synopsis and estimate the twig query's selectivity, optionally
   comparing against exact evaluation;
@@ -16,7 +20,9 @@ Commands:
   analyzer (same engine as ``python -m repro.analysis``).
 
 The CLI is a thin veneer over the public API; every command maps to a few
-library calls shown in README.md.
+library calls shown in README.md.  File-loading commands accept
+``--lenient`` to recover a partial tree from malformed XML instead of
+failing.
 """
 
 from __future__ import annotations
@@ -46,7 +52,8 @@ _DATASETS = {
 def _load_tree(args):
     if getattr(args, "dataset", None):
         return _DATASETS[args.dataset](args.scale, seed=1)
-    return parse_file(args.file)
+    mode = "lenient" if getattr(args, "lenient", False) else "strict"
+    return parse_file(args.file, mode=mode)
 
 
 def _parse_query(text: str):
@@ -72,15 +79,24 @@ def cmd_stats(args) -> int:
 
 def cmd_build(args) -> int:
     tree = _load_tree(args)
+    checkpoint_every = args.checkpoint_every
+    if args.checkpoint and checkpoint_every is None:
+        checkpoint_every = 1
     result = XBuild(
         tree,
         budget_bytes=int(args.budget * 1024),
         seed=args.seed,
         sample_value_probability=0.3 if args.values else 0.0,
+        deadline=args.deadline,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=args.checkpoint,
+        resume_from=args.resume,
     ).run()
     sketch = result.sketch
     print(f"built {sketch.size_kb():.1f} KB synopsis "
           f"({len(result.steps)} refinements)")
+    if result.truncated:
+        print(f"truncated: {result.reason} (best-so-far synopsis)")
     print(f"nodes: {sketch.graph.node_count}, edges: {sketch.graph.edge_count}")
     histograms = sum(len(h) for h in sketch.edge_stats.values())
     print(f"edge histograms: {histograms}, "
@@ -163,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_source(sub, with_file: bool = True):
         if with_file:
             sub.add_argument("file", help="XML document to load")
+            sub.add_argument(
+                "--lenient", action="store_true",
+                help="recover a partial tree from malformed XML "
+                     "instead of failing",
+            )
         sub.add_argument("--seed", type=int, default=17)
 
     stats = commands.add_parser("stats", help="document characteristics")
@@ -175,6 +196,18 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--values", action="store_true",
                        help="tune for value-predicated workloads")
     build.add_argument("--out", help="save the synopsis as JSON")
+    build.add_argument("--deadline", type=float, default=None,
+                       help="wall-clock budget in seconds; a build that "
+                            "overruns returns its best-so-far synopsis")
+    build.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write build checkpoints to PATH")
+    build.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N", help="checkpoint every N refinements "
+                                         "(default 1 when --checkpoint "
+                                         "is given)")
+    build.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume an interrupted build from a "
+                            "checkpoint file")
     build.set_defaults(handler=cmd_build)
 
     estimate = commands.add_parser("estimate", help="estimate a twig query")

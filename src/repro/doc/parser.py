@@ -1,32 +1,49 @@
 """Parse XML text into :class:`~repro.doc.tree.DocumentTree`.
 
 The environment has no ``lxml``; we build on the standard library's
-``xml.etree.ElementTree``, which is entirely sufficient for the data model
-of the paper (elements, attributes, text values — no namespaces needed,
-though namespaced tags are preserved verbatim).
+``xml.parsers.expat`` with an *iterative* event-driven builder — parse
+depth is bounded by an explicit stack, never the Python call stack, so a
+pathologically deep document can not surface a ``RecursionError``.
 
 Conversion rules (mirroring :mod:`repro.doc.node`):
 
 * each XML element becomes a node with the element's tag;
 * each XML attribute ``k="v"`` becomes a child node tagged ``@k`` carrying
-  value ``v``;
+  value ``v`` (attributes sorted by name, ahead of other children);
 * element text that is non-whitespace becomes the node's ``value`` when the
   element is a leaf, and a child node tagged ``#text`` otherwise (mixed
-  content);
+  content, or a leaf that also carries attributes);
 * values that look like integers/floats are converted to numbers so that
   the paper's range predicates ("year > 2000") work out of the box.
+
+Two parse modes harden ingestion of untrusted corpora:
+
+* ``strict`` (default) — any malformation, depth overrun, or size overrun
+  raises :class:`~repro.errors.ParseError` carrying a text snippet and the
+  byte offset of the failure;
+* ``lenient`` — best-effort recovery: a document that breaks mid-stream
+  yields the partial tree parsed so far (open elements force-closed),
+  over-deep subtrees are skipped, and oversized input is truncated at the
+  byte limit.  Only when no root element at all can be recovered does
+  lenient mode raise :class:`ParseError`.
+
+Either way the failure surface is exactly :class:`ParseError` — never
+``RecursionError``, ``AttributeError``, or a raw expat exception.
 """
 
 from __future__ import annotations
 
-import xml.etree.ElementTree as ET
+import xml.parsers.expat as expat
 from typing import Optional, Union
 
 from ..errors import ParseError
+from ..resilience.faults import SITE_PARSE, fault_check
 from .node import DocumentNode, Value
 from .tree import DocumentTree
 
 TEXT_TAG = "#text"
+
+_MODES = ("strict", "lenient")
 
 
 def coerce_value(text: str) -> Value:
@@ -42,46 +59,214 @@ def coerce_value(text: str) -> Value:
         return stripped
 
 
-def _convert(element: ET.Element) -> DocumentNode:
-    node = DocumentNode(element.tag)
-    for key in sorted(element.attrib):
-        node.new_child(f"@{key}", coerce_value(element.attrib[key]))
-    text = (element.text or "").strip()
-    has_children = len(element) > 0
-    if text:
-        if has_children or element.attrib:
-            node.new_child(TEXT_TAG, coerce_value(text))
-        else:
-            node.value = coerce_value(text)
-    for child in element:
-        node.add_child(_convert(child))
-        tail = (child.tail or "").strip()
-        if tail:
-            node.new_child(TEXT_TAG, coerce_value(tail))
-    return node
+class _Frame:
+    """One open element on the builder's explicit stack."""
+
+    __slots__ = ("node", "has_attrs", "element_children", "parts")
+
+    def __init__(self, node: DocumentNode, has_attrs: bool):
+        self.node = node
+        self.has_attrs = has_attrs
+        self.element_children = 0
+        self.parts: list = []
 
 
-def parse_string(text: Union[str, bytes], name: str = "") -> DocumentTree:
+class _Builder:
+    """Event-driven document builder with an explicit element stack."""
+
+    def __init__(self, strict: bool, max_depth: Optional[int]):
+        self.strict = strict
+        self.max_depth = max_depth
+        self.stack: list = []
+        self.root: Optional[DocumentNode] = None
+        self.skip_depth = 0
+        self.parser: Optional[expat.XMLParserType] = None
+
+    # -- expat handlers -------------------------------------------------
+    def start(self, tag: str, attrs: dict) -> None:
+        if self.skip_depth:
+            self.skip_depth += 1
+            return
+        if self.max_depth is not None and len(self.stack) >= self.max_depth:
+            if not self.strict:
+                self.skip_depth = 1
+                return
+            position = self.parser.CurrentByteIndex if self.parser else None
+            raise ParseError(
+                f"document nesting exceeds the depth limit of "
+                f"{self.max_depth} at element <{tag}>",
+                text=tag,
+                position=position,
+            )
+        node = DocumentNode(tag)
+        if self.stack:
+            parent = self.stack[-1]
+            self._flush_text(parent)
+            parent.element_children += 1
+            parent.node.add_child(node)
+        elif self.root is None:
+            self.root = node
+        for key in sorted(attrs):
+            node.new_child(f"@{key}", coerce_value(attrs[key]))
+        self.stack.append(_Frame(node, bool(attrs)))
+
+    def data(self, text: str) -> None:
+        if self.skip_depth or not self.stack:
+            return
+        self.stack[-1].parts.append(text)
+
+    def end(self, tag: str) -> None:
+        if self.skip_depth:
+            self.skip_depth -= 1
+            return
+        if self.stack:
+            self._close(self.stack.pop())
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _flush_text(frame: _Frame) -> None:
+        """Emit buffered text as a ``#text`` child (mixed content)."""
+        text = "".join(frame.parts).strip()
+        frame.parts.clear()
+        if text:
+            frame.node.new_child(TEXT_TAG, coerce_value(text))
+
+    @staticmethod
+    def _close(frame: _Frame) -> None:
+        text = "".join(frame.parts).strip()
+        frame.parts.clear()
+        if text:
+            if frame.element_children or frame.has_attrs:
+                frame.node.new_child(TEXT_TAG, coerce_value(text))
+            else:
+                frame.node.value = coerce_value(text)
+
+    def close_open_frames(self) -> None:
+        """Force-close every open element (lenient-mode recovery)."""
+        while self.stack:
+            self._close(self.stack.pop())
+
+
+def _snippet(data: bytes) -> str:
+    return data[:200].decode("utf8", "replace")
+
+
+def _clamp(position: Optional[int], size: int) -> Optional[int]:
+    if position is None:
+        return None
+    return max(0, min(int(position), size))
+
+
+def parse_string(
+    text: Union[str, bytes],
+    name: str = "",
+    *,
+    mode: str = "strict",
+    max_depth: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> DocumentTree:
     """Parse an XML string into a frozen :class:`DocumentTree`.
 
+    Args:
+        text: the document, as ``str`` or UTF-8 ``bytes``.
+        name: name recorded on the resulting tree.
+        mode: ``"strict"`` or ``"lenient"`` (see module docstring).
+        max_depth: maximum element nesting; ``None`` = unlimited.
+        max_bytes: maximum input size in bytes; ``None`` = unlimited.
+
     Raises:
-        ParseError: when the text is not well-formed XML.
+        ParseError: strict mode — on any malformation or limit overrun;
+            lenient mode — only when no root element is recoverable.
+            ``position`` is the byte offset of the failure when known.
     """
+    fault_check(SITE_PARSE)
+    if mode not in _MODES:
+        raise ParseError(
+            f"unknown parse mode {mode!r}; expected one of {', '.join(_MODES)}",
+            text=str(mode),
+            position=0,
+        )
+    strict = mode == "strict"
+    data = text.encode("utf8") if isinstance(text, str) else bytes(text)
+    if max_bytes is not None and len(data) > max_bytes:
+        if strict:
+            raise ParseError(
+                f"document size {len(data)} bytes exceeds the limit of "
+                f"{max_bytes} bytes",
+                text=_snippet(data),
+                position=max_bytes,
+            )
+        data = data[:max_bytes]
+
+    builder = _Builder(strict, max_depth)
+    parser = expat.ParserCreate()
+    # buffer_text would coalesce character data but also silently discard
+    # text buffered when a parse error cuts the document short; lenient
+    # recovery needs every chunk delivered, so we coalesce in _Frame.parts.
+    parser.buffer_text = False
+    parser.StartElementHandler = builder.start
+    parser.EndElementHandler = builder.end
+    parser.CharacterDataHandler = builder.data
+    builder.parser = parser
     try:
-        element = ET.fromstring(text)
-    except ET.ParseError as exc:
-        snippet = text if isinstance(text, str) else text.decode("utf8", "replace")
-        raise ParseError(f"malformed XML: {exc}", text=snippet) from exc
-    return DocumentTree(_convert(element), name=name)
+        parser.Parse(data, True)
+    except ParseError:
+        raise
+    except expat.ExpatError as exc:
+        position = _clamp(parser.ErrorByteIndex, len(data))
+        if strict or builder.root is None:
+            raise ParseError(
+                f"malformed XML: {expat.ErrorString(exc.code)} "
+                f"(byte {position})",
+                text=_snippet(data),
+                position=position,
+            ) from exc
+        builder.close_open_frames()
+    except RecursionError as exc:  # defensive: the builder is iterative
+        raise ParseError(
+            "document too deeply nested to parse",
+            text=_snippet(data),
+            position=_clamp(parser.CurrentByteIndex, len(data)),
+        ) from exc
+    else:
+        builder.close_open_frames()
+
+    if builder.root is None:
+        raise ParseError(
+            "no root element found", text=_snippet(data), position=0
+        )
+    return DocumentTree(builder.root, name=name)
 
 
-def parse_file(path, name: Optional[str] = None) -> DocumentTree:
-    """Parse the XML file at ``path``; ``name`` defaults to the file name."""
+def parse_file(
+    path,
+    name: Optional[str] = None,
+    *,
+    mode: str = "strict",
+    max_depth: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> DocumentTree:
+    """Parse the XML file at ``path``; ``name`` defaults to the file name.
+
+    Accepts the same hardening options as :func:`parse_string`; all
+    failures (including unreadable files) surface as :class:`ParseError`
+    with the path in the message.
+    """
     path = str(path)
     try:
-        element = ET.parse(path).getroot()
-    except ET.ParseError as exc:
-        raise ParseError(f"malformed XML in {path}: {exc}") from exc
+        with open(path, "rb") as handle:
+            data = handle.read()
     except OSError as exc:
-        raise ParseError(f"cannot read {path}: {exc}") from exc
-    return DocumentTree(_convert(element), name=name if name is not None else path)
+        raise ParseError(f"cannot read {path}: {exc}", text=path, position=0) from exc
+    try:
+        return parse_string(
+            data,
+            name=name if name is not None else path,
+            mode=mode,
+            max_depth=max_depth,
+            max_bytes=max_bytes,
+        )
+    except ParseError as exc:
+        raise ParseError(
+            f"in {path}: {exc}", text=exc.text, position=exc.position
+        ) from exc

@@ -48,3 +48,30 @@ class BuildError(ReproError):
 
 class WorkloadError(ReproError):
     """Workload generation could not satisfy the requested constraints."""
+
+
+class ResourceLimitError(ReproError):
+    """A guarded operation exceeded a resource budget (steps, depth, size).
+
+    Raised by :class:`repro.resilience.guards.Budget`; catching it also
+    catches :class:`DeadlineExceeded`, its wall-clock specialization.
+    """
+
+
+class DeadlineExceeded(ResourceLimitError):
+    """A guarded operation ran past its wall-clock deadline."""
+
+
+class CheckpointError(ReproError):
+    """A build checkpoint is unreadable, or incompatible with the build
+    (different document, seed, byte budget, or synopsis configuration)."""
+
+
+class FaultInjected(ReproError):
+    """An error injected by :class:`repro.resilience.faults.FaultPlan`.
+
+    Only tests raise this (through an activated fault plan); production
+    code never does.  It derives from :class:`ReproError` so recovery
+    paths exercised by fault injection behave exactly as they would for a
+    real library failure.
+    """

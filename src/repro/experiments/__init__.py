@@ -26,13 +26,24 @@ from .figure9 import (
     run_figure9b,
     run_figure9c,
 )
-from .runner import DATASETS, dataset, sketch_error, synopsis_sweep, workload
+from .runner import (
+    DATASETS,
+    SuiteError,
+    SuiteResult,
+    dataset,
+    run_suite,
+    sketch_error,
+    synopsis_sweep,
+    workload,
+)
 from .tables import format_table1, format_table2, run_table1, run_table2
 
 __all__ = [
     "DATASETS",
     "DEFAULT_CONFIG",
     "ExperimentConfig",
+    "SuiteError",
+    "SuiteResult",
     "dataset",
     "format_branch_conditioning_ablation",
     "format_edge_count_ablation",
@@ -52,6 +63,7 @@ __all__ = [
     "run_figure9c",
     "run_negative",
     "run_path_ablation",
+    "run_suite",
     "run_table1",
     "run_table2",
     "sketch_error",

@@ -25,9 +25,14 @@ _CLAUSE_RE = re.compile(
 )
 
 
-def _split_clauses(text: str) -> list[str]:
-    """Split on top-level commas (commas inside [] / {} / quotes are kept)."""
-    clauses: list[str] = []
+def _split_clauses(text: str) -> list[tuple[int, str]]:
+    """Split on top-level commas (commas inside [] / {} / quotes are kept).
+
+    Returns ``(offset, clause)`` pairs, where ``offset`` is the position of
+    the stripped clause within ``text`` — kept so parse errors can report
+    where in the original input a bad clause starts.
+    """
+    spans: list[tuple[int, str]] = []
     depth = 0
     quote = ""
     start = 0
@@ -43,10 +48,14 @@ def _split_clauses(text: str) -> list[str]:
         elif char in "]})":
             depth -= 1
         elif char == "," and depth == 0:
-            clauses.append(text[start:index])
+            spans.append((start, text[start:index]))
             start = index + 1
-    clauses.append(text[start:])
-    return [clause.strip() for clause in clauses if clause.strip()]
+    spans.append((start, text[start:]))
+    return [
+        (offset + len(clause) - len(clause.lstrip()), clause.strip())
+        for offset, clause in spans
+        if clause.strip()
+    ]
 
 
 def parse_for_clause(text: str) -> TwigQuery:
@@ -56,23 +65,32 @@ def parse_for_clause(text: str) -> TwigQuery:
         ParseError: for malformed clauses, unknown parent variables, or a
             non-root clause that does not navigate from a variable.
     """
+    lead = len(text) - len(text.lstrip())
     body = text.strip()
     if body.lower().startswith("for "):
         body = body[4:]
+        lead += 4
     return_pos = re.search(r"\breturn\b", body)
     if return_pos:
         body = body[: return_pos.start()]
 
     nodes: dict[str, TwigNode] = {}
     root: TwigNode | None = None
-    for clause in _split_clauses(body):
+    for offset, clause in _split_clauses(body):
+        position = lead + offset
         match = _CLAUSE_RE.match(clause)
         if not match:
-            raise ParseError(f"malformed for-clause entry: {clause!r}", text=clause)
+            raise ParseError(
+                f"malformed for-clause entry: {clause!r}",
+                text=clause,
+                position=position,
+            )
         var = match.group("var").lstrip("$")
         expr = match.group("expr").strip()
         if var in nodes:
-            raise ParseError(f"variable {var!r} bound twice", text=clause)
+            raise ParseError(
+                f"variable {var!r} bound twice", text=clause, position=position
+            )
 
         parent_var = None
         first_token = re.match(r"^\$?(\w+)\s*(//|/)", expr)
@@ -87,6 +105,7 @@ def parse_for_clause(text: str) -> TwigQuery:
                 raise ParseError(
                     f"clause {clause!r} does not navigate from a bound variable",
                     text=clause,
+                    position=position,
                 )
             root = node
         else:
@@ -94,5 +113,5 @@ def parse_for_clause(text: str) -> TwigQuery:
         nodes[var] = node
 
     if root is None:
-        raise ParseError("for clause binds no variables", text=text)
+        raise ParseError("for clause binds no variables", text=text, position=0)
     return TwigQuery(root)

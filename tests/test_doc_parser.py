@@ -1,6 +1,8 @@
 """Tests for XML parsing / serialization round-trips (repro.doc.parser)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.doc import (
     coerce_value,
@@ -11,6 +13,7 @@ from repro.doc import (
     text_size_bytes,
     write_file,
 )
+from repro.doc.tree import DocumentTree
 from repro.errors import ParseError
 
 
@@ -100,6 +103,117 @@ class TestRoundTrip:
     def test_parse_missing_file(self, tmp_path):
         with pytest.raises(ParseError):
             parse_file(tmp_path / "nope.xml")
+
+
+class TestHardenedParsing:
+    """Strict/lenient modes, limits, and the ParseError-only guarantee."""
+
+    def test_deep_document_parses_iteratively(self):
+        depth = 3000  # far past the default Python recursion limit
+        tree = parse_string("<a>" * depth + "</a>" * depth)
+        assert tree.element_count == depth
+
+    def test_strict_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_string("<a><b></a>")
+        assert excinfo.value.position == 8
+        assert excinfo.value.text.startswith("<a>")
+
+    def test_lenient_recovers_partial_tree(self):
+        tree = parse_string("<bib><author><name>Ann", mode="lenient")
+        assert tree.root.tag == "bib"
+        assert tree.extent("name")[0].value == "Ann"
+
+    def test_lenient_ignores_trailing_garbage(self):
+        tree = parse_string("<a><b/></a> junk & more junk", mode="lenient")
+        assert tree.element_count == 2
+
+    def test_lenient_without_root_still_raises(self):
+        with pytest.raises(ParseError):
+            parse_string("complete garbage", mode="lenient")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ParseError, match="parse mode"):
+            parse_string("<a/>", mode="tolerant")
+
+    def test_depth_limit_strict(self):
+        with pytest.raises(ParseError, match="depth limit"):
+            parse_string("<a><b><c/></b></a>", max_depth=2)
+
+    def test_depth_limit_lenient_skips_deep_subtrees(self):
+        tree = parse_string(
+            "<a><b><c><d/></c></b><e/></a>", mode="lenient", max_depth=2
+        )
+        assert sorted(tree.tags) == ["a", "b", "e"]
+
+    def test_size_limit_strict(self):
+        text = "<a>" + "x" * 100 + "</a>"
+        with pytest.raises(ParseError) as excinfo:
+            parse_string(text, max_bytes=50)
+        assert excinfo.value.position == 50
+
+    def test_size_limit_lenient_truncates(self):
+        tree = parse_string(
+            "<a><b>1</b><c>2</c></a>", mode="lenient", max_bytes=12
+        )
+        assert sorted(tree.tags) == ["a", "b"]
+
+    def test_file_errors_carry_path_and_position(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<a><b></a>")
+        with pytest.raises(ParseError) as excinfo:
+            parse_file(path)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.position == 8
+
+    def test_lenient_file_parse(self, tmp_path):
+        path = tmp_path / "partial.xml"
+        path.write_text("<bib><paper><title>Twigs")
+        tree = parse_file(path, mode="lenient")
+        assert tree.extent("title")[0].value == "Twigs"
+
+    @settings(max_examples=60, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=len(SAMPLE)))
+    def test_truncated_document_never_leaks_raw_errors(self, cut):
+        """Any prefix of a valid document parses or raises ParseError with
+        a position inside the input — never RecursionError & co."""
+        prefix = SAMPLE[:cut]
+        for mode in ("strict", "lenient"):
+            try:
+                tree = parse_string(prefix, mode=mode)
+            except ParseError as error:
+                assert error.position is None or (
+                    0 <= error.position <= len(prefix.encode("utf8"))
+                )
+                assert isinstance(error.text, str)
+            else:
+                assert isinstance(tree, DocumentTree)
+
+    @settings(max_examples=60, deadline=None)
+    @given(text=st.text(max_size=120))
+    def test_garbage_input_never_leaks_raw_errors(self, text):
+        for mode in ("strict", "lenient"):
+            try:
+                tree = parse_string(text, mode=mode)
+            except ParseError as error:
+                assert error.position is None or (
+                    0 <= error.position <= len(text.encode("utf8"))
+                )
+            else:
+                assert isinstance(tree, DocumentTree)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.binary(max_size=120))
+    def test_garbage_bytes_never_leak_raw_errors(self, data):
+        for mode in ("strict", "lenient"):
+            try:
+                tree = parse_string(data, mode=mode)
+            except ParseError as error:
+                assert error.position is None or (
+                    0 <= error.position <= len(data)
+                )
+            else:
+                assert isinstance(tree, DocumentTree)
 
 
 class TestStats:
