@@ -1,0 +1,112 @@
+"""Graceful degradation: serving estimates from a corrupted synopsis.
+
+Builds a Twig XSKETCH, saves it, then corrupts the saved file the way a
+bad disk or a buggy writer would (negated extent counts behind a forged
+legacy header).  The walkthrough then shows each layer of the robustness
+stack reacting:
+
+1. ``load_sketch(strict=True)`` refuses the file with a typed
+   ``SynopsisIntegrityError`` naming the offending payload path.
+2. ``validate_sketch`` lists the individual invariant violations a
+   fast-mode load smuggled in.
+3. ``EstimatorService`` keeps answering anyway: the twig tier fails on
+   the broken synopsis, the fallback cascade steps down tier by tier,
+   and every response arrives finite, non-negative, and annotated with
+   the tier that produced it plus the warnings accumulated on the way.
+4. After repeated failures the circuit breaker opens and the broken
+   tier is skipped without being retried.
+
+Run:  python examples/serving_degradation.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.baselines import CorrelatedSuffixTree
+from repro.build import xbuild
+from repro.datasets import generate_imdb
+from repro.errors import SynopsisIntegrityError
+from repro.query import parse_for_clause
+from repro.serve import EstimatorService
+from repro.synopsis import (
+    error_violations,
+    load_sketch,
+    save_sketch,
+    sketch_to_dict,
+    validate_sketch,
+)
+
+BUDGET_BYTES = 3 * 1024
+
+
+def corrupt_file(sketch, path: Path) -> None:
+    """Write a schema-valid but semantically broken synopsis file.
+
+    The payload claims to be a legacy v1 file (no digest), so the
+    checksum cannot catch the damage — exactly the situation the
+    invariant validator and the serving cascade exist for.
+    """
+    payload = sketch_to_dict(sketch)
+    payload["version"] = 1
+    del payload["digest"]
+    for node in payload["nodes"]:
+        node["count"] = -node["count"]
+    path.write_text(json.dumps(payload), encoding="utf8")
+
+
+def main() -> None:
+    tree = generate_imdb(4000, seed=2)
+    sketch = xbuild(tree, BUDGET_BYTES, seed=5)
+    baseline = CorrelatedSuffixTree.build(tree, 2 * BUDGET_BYTES)
+    query = parse_for_clause("for m in movie, a in m/actor")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        good_path = Path(tmp) / "good.json"
+        bad_path = Path(tmp) / "corrupt.json"
+        save_sketch(sketch, good_path)
+        corrupt_file(sketch, bad_path)
+
+        print("== 1. strict load rejects the corrupted file ==")
+        try:
+            load_sketch(bad_path, strict=True)
+        except SynopsisIntegrityError as exc:
+            message = str(exc)
+            print(f"SynopsisIntegrityError: {message[:140]}…"
+                  if len(message) > 140 else
+                  f"SynopsisIntegrityError: {message}")
+
+        print("\n== 2. the validator itemizes the damage ==")
+        damaged = load_sketch(bad_path)  # fast mode: schema checks only
+        violations = error_violations(validate_sketch(damaged))
+        print(f"{len(violations)} invariant violations, e.g.:")
+        for violation in violations[:3]:
+            print(f"  [{violation.code}] {violation.path}: "
+                  f"{violation.message}")
+
+        print("\n== 3. the service degrades instead of failing ==")
+        service = EstimatorService(failure_threshold=2, cooldown=60.0)
+        service.register("healthy", path=good_path)
+        service.register(
+            "damaged", damaged, baseline=baseline, validate=False
+        )
+
+        for name in ("healthy", "damaged"):
+            response = service.estimate(name, query)
+            print(f"sketch={name!r}: estimate={response.estimate:.1f} "
+                  f"tier={response.source} degraded={response.degraded}")
+            for warning in response.warnings:
+                print(f"    warning: {warning}")
+
+        print("\n== 4. repeated failures open the circuit breaker ==")
+        service.estimate("damaged", query)  # second twig failure: trips
+        response = service.estimate("damaged", query)
+        print(f"breaker states: {service.breaker_states('damaged')}")
+        skipped = [w for w in response.warnings if "circuit open" in w]
+        print(f"tier skipped without retry: {skipped[0]}")
+        print(f"still serving: estimate={response.estimate:.1f} "
+              f"tier={response.source}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,12 @@ Commands:
 * ``demo [--dataset imdb|xmark|sprot] [--scale N]`` — run the estimate
   flow on a built-in synthetic data set (no input file needed);
 * ``analyze [PATHS...] [--json]`` — run the static import-contract
-  analyzer (same engine as ``python -m repro.analysis``).
+  analyzer (same engine as ``python -m repro.analysis``);
+* ``validate SKETCH.json`` — integrity-check a saved synopsis: digest,
+  schema, and every invariant in ``repro.synopsis.validate``;
+* ``serve-eval`` — run a workload through the graceful-degradation
+  :class:`~repro.serve.EstimatorService` and report per-tier counts,
+  latency, and accuracy.
 
 The CLI is a thin veneer over the public API; every command maps to a few
 library calls shown in README.md.  File-loading commands accept
@@ -33,13 +38,21 @@ import sys
 from collections import Counter
 
 from .analysis import analyze_paths, default_roots, render_json, render_text
+from .baselines import CorrelatedSuffixTree
 from .build import XBuild
 from .datasets import generate_imdb, generate_sprot, generate_xmark
 from .doc import document_stats, parse_file
 from .errors import ReproError
 from .estimation import TwigEstimator
 from .query import count_bindings, parse_for_clause, parse_path, twig
-from .synopsis import TwigXSketch, load_sketch, save_sketch
+from .serve import EstimatorService
+from .synopsis import (
+    TwigXSketch,
+    error_violations,
+    load_sketch,
+    save_sketch,
+    validate_sketch,
+)
 from .workload import WorkloadGenerator, WorkloadSpec
 
 _DATASETS = {
@@ -169,6 +182,87 @@ def cmd_analyze(args) -> int:
     return 1 if findings else 0
 
 
+def cmd_validate(args) -> int:
+    sketch = load_sketch(args.synopsis)  # digest + schema (typed errors)
+    violations = validate_sketch(sketch)
+    if args.json:
+        import json
+
+        print(json.dumps([
+            {
+                "code": v.code,
+                "path": v.path,
+                "message": v.message,
+                "severity": v.severity,
+            }
+            for v in violations
+        ]))
+    else:
+        for violation in violations:
+            print(f"{violation.severity}: {violation.code} "
+                  f"at {violation.path}: {violation.message}")
+        errors = error_violations(violations)
+        print(f"{args.synopsis}: digest ok, "
+              f"{len(errors)} error(s), "
+              f"{len(violations) - len(errors)} warning(s)")
+    return 1 if error_violations(violations) else 0
+
+
+def cmd_serve_eval(args) -> int:
+    if not args.file and not args.dataset:
+        raise ReproError("serve-eval needs an XML file or --dataset")
+    tree = _load_tree(args)
+    if args.synopsis:
+        sketch = load_sketch(args.synopsis, strict=not args.no_validate)
+        source = args.synopsis
+    else:
+        sketch = XBuild(
+            tree, budget_bytes=int(args.budget * 1024), seed=args.seed
+        ).run().sketch
+        source = f"XBUILD ({sketch.size_kb():.1f} KB)"
+    service = EstimatorService(failure_threshold=args.failure_threshold)
+    service.register(
+        "default",
+        sketch,
+        baseline=CorrelatedSuffixTree.build(tree, int(args.budget * 1024)),
+        validate=not args.no_validate,
+    )
+    spec = WorkloadSpec(seed=args.seed)
+    load = WorkloadGenerator(tree, spec).positive_workload(args.queries)
+    tiers: Counter = Counter()
+    warnings = 0
+    latency = 0.0
+    error_sum = 0.0
+    errored = 0
+    for entry in load.queries:
+        response = service.estimate(
+            "default", entry.query, deadline=args.deadline
+        )
+        tiers[response.source] += 1
+        warnings += len(response.warnings)
+        latency += response.latency
+        if entry.true_count:
+            error_sum += (
+                abs(response.estimate - entry.true_count) / entry.true_count
+            )
+            errored += 1
+    count = len(load.queries)
+    print(f"served {count} queries over {source}")
+    for tier in ("twig", "path", "cst", "uniform"):
+        if tiers[tier]:
+            print(f"  tier {tier:<8} {tiers[tier]:>5} "
+                  f"({tiers[tier] / count * 100:.0f}%)")
+    print(f"avg latency: {latency / count * 1000:.2f} ms; "
+          f"warnings: {warnings}")
+    if errored:
+        print(f"avg rel error: {error_sum / errored * 100:.1f}%")
+    print("breakers:", " ".join(
+        f"{tier}={state}"
+        for tier, state in service.breaker_states("default").items()
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -253,6 +347,43 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--json", action="store_true",
                          help="emit findings as a JSON array")
     analyze.set_defaults(handler=cmd_analyze)
+
+    validate = commands.add_parser(
+        "validate", help="integrity-check a saved synopsis"
+    )
+    validate.add_argument("synopsis", help="synopsis JSON file to check")
+    validate.add_argument("--json", action="store_true",
+                          help="emit violations as a JSON array")
+    validate.set_defaults(handler=cmd_validate)
+
+    serve_eval = commands.add_parser(
+        "serve-eval",
+        help="run a workload through the degradation-aware "
+             "estimator service",
+    )
+    serve_eval.add_argument("file", nargs="?", default=None,
+                            help="XML document (or use --dataset)")
+    serve_eval.add_argument("--dataset", choices=sorted(_DATASETS),
+                            default=None)
+    serve_eval.add_argument("--scale", type=int, default=4000)
+    serve_eval.add_argument("--seed", type=int, default=17)
+    serve_eval.add_argument("--lenient", action="store_true",
+                            help="recover a partial tree from malformed "
+                                 "XML instead of failing")
+    serve_eval.add_argument("--budget", type=float, default=8.0, help="KB")
+    serve_eval.add_argument("--queries", type=int, default=25)
+    serve_eval.add_argument("--synopsis", default=None,
+                            help="serve a saved synopsis instead of "
+                                 "building one")
+    serve_eval.add_argument("--deadline", type=float, default=None,
+                            help="per-request wall-clock budget in seconds")
+    serve_eval.add_argument("--failure-threshold", type=int, default=5,
+                            help="consecutive tier failures that open "
+                                 "the circuit")
+    serve_eval.add_argument("--no-validate", action="store_true",
+                            help="skip invariant validation when "
+                                 "registering the synopsis")
+    serve_eval.set_defaults(handler=cmd_serve_eval)
 
     return parser
 

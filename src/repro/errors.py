@@ -38,8 +38,37 @@ class SynopsisError(ReproError):
     """A synopsis violates a structural invariant (partition, edges, ...)."""
 
 
+class SynopsisIntegrityError(SynopsisError):
+    """A persisted synopsis failed an integrity check on load.
+
+    Raised by :mod:`repro.synopsis.persist` for unknown format versions,
+    payload-digest mismatches, and schema violations (missing/extra/
+    mistyped keys), and by strict loads for invariant violations found by
+    :func:`repro.synopsis.validate.validate_sketch` — never a raw
+    ``KeyError``/``TypeError``.
+
+    Attributes:
+        path: dotted/indexed location of the offending content inside the
+            payload (e.g. ``"edges[3].child_count"``), or ``""`` when the
+            failure is not attributable to one field (digest mismatch).
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message if not path else f"{path}: {message}")
+        self.path = path
+
+
 class EstimationError(ReproError):
     """The estimation framework cannot produce an estimate for a query."""
+
+
+class ServiceError(ReproError):
+    """An :class:`repro.serve.EstimatorService` request is invalid
+    (unknown sketch name, duplicate registration, bad arguments).
+
+    Estimation *failures* never surface as exceptions from the service —
+    they degrade through the fallback cascade; this error marks caller
+    mistakes only."""
 
 
 class BuildError(ReproError):

@@ -26,6 +26,7 @@ rules reconstructed from the conference text; see DESIGN.md §3).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -43,6 +44,25 @@ from .embeddings import (
 from .treeparse import NodePlan, tree_parse
 
 Context = tuple[tuple[EdgeRef, float], ...]
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the degenerate cases pinned.
+
+    A synopsis node with an empty extent contributes no matches, so a
+    zero (or invalid) denominator yields 0.0 rather than
+    ``ZeroDivisionError``; a non-finite ratio (NaN/inf from corrupted
+    counts) is likewise clamped to 0.0 so estimates stay finite.
+    """
+    if denominator == 0:
+        return 0.0
+    try:
+        ratio = numerator / denominator
+    except (ZeroDivisionError, OverflowError):
+        return 0.0
+    if not math.isfinite(ratio):
+        return 0.0
+    return ratio
 
 
 @dataclass(frozen=True)
@@ -145,9 +165,10 @@ class TwigEstimator:
         if result > 0 and (node.children or plan.uses):
             for child in plan.uncovered:
                 # Forward Uniformity: |n_i -> n_j| / |n_i| per element.
-                average = self.sketch.edge_child_count(
-                    node.node_id, child.node_id
-                ) / self.sketch.graph.node(node.node_id).count
+                average = _safe_ratio(
+                    self.sketch.edge_child_count(node.node_id, child.node_id),
+                    self.sketch.graph.node(node.node_id).count,
+                )
                 result *= average
                 if result == 0:
                     break
@@ -344,9 +365,10 @@ class TwigEstimator:
         edge = graph.edge(parent_id, chain.node_id)
         if edge is None:
             return 0.0
-        mean_count = self.sketch.edge_child_count(
-            parent_id, chain.node_id
-        ) / graph.node(parent_id).count
+        mean_count = _safe_ratio(
+            self.sketch.edge_child_count(parent_id, chain.node_id),
+            graph.node(parent_id).count,
+        )
         probability_positive = self._positive_probability(
             parent_id, chain.node_id, edge, mean_count
         )

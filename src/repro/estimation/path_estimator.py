@@ -21,7 +21,7 @@ from ..query.ast import Path, TwigNode, TwigQuery
 from ..synopsis.summary import TwigXSketch
 from .embeddings import DEFAULT_MAX_DESCENDANT_DEPTH, _chain_expansions, _embed_branch
 from .embeddings import EmbeddingBudget
-from .estimator import TwigEstimator
+from .estimator import TwigEstimator, _safe_ratio
 
 
 class PathEstimator:
@@ -70,7 +70,7 @@ class PathEstimator:
             if previous_id is None:
                 reached = float(node_size)
             else:
-                coverage = selected / graph.node(previous_id).count
+                coverage = _safe_ratio(selected, graph.node(previous_id).count)
                 reached = self.sketch.edge_child_count(previous_id, node_id) * coverage
             if step.value_pred is not None:
                 reached *= self._twig.value_selectivity(node_id, step.value_pred)

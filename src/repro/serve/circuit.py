@@ -1,0 +1,104 @@
+"""A thread-safe circuit breaker for estimation tiers.
+
+A sketch whose statistics are corrupt does not fail once — it fails on
+every request, and each failure burns a full (possibly expensive) twig
+expansion before the service falls back.  The breaker converts *repeated*
+failures into an explicit open state: after ``failure_threshold``
+consecutive failures the tier is skipped outright, and after ``cooldown``
+seconds a single probe request is let through (half-open); its outcome
+decides between closing the circuit and re-opening it.
+
+The breaker is deliberately tiny and lock-per-instance:
+:class:`~repro.serve.service.EstimatorService` keeps one breaker per
+(registered sketch, tier) pair, so an unhealthy twig tier does not take
+the path tier down with it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..errors import ServiceError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; recover through a single probe.
+
+    Args:
+        failure_threshold: consecutive failures that open the circuit.
+        cooldown: seconds the circuit stays open before allowing a probe.
+        clock: monotonic time source (override in tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if cooldown <= 0:
+            raise ServiceError(f"cooldown must be positive, got {cooldown!r}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """True when a request may run through this tier right now."""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._clock() - self._opened_at < self.cooldown:
+                return False
+            # Half-open: exactly one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """A request served by this tier succeeded: close the circuit."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A request failed: count it, and (re)open past the threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if self._consecutive_failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """:data:`CLOSED`, :data:`OPEN`, or :data:`HALF_OPEN`."""
+        with self._lock:
+            if self._opened_at is None:
+                return CLOSED
+            if self._clock() - self._opened_at >= self.cooldown:
+                return HALF_OPEN
+            return OPEN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CircuitBreaker {self.state} "
+            f"failures={self._consecutive_failures}"
+            f"/{self.failure_threshold}>"
+        )

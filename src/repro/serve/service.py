@@ -1,0 +1,383 @@
+"""The robust estimation service: registry, deadlines, degradation.
+
+The paper's deployment story is "build the synopsis once, consult it from
+every optimizer invocation" — the consult side is the hot, user-facing
+path, and it must answer *something finite* even when the synopsis on
+disk is stale, truncated, or corrupt.  :class:`EstimatorService` is that
+serving tier:
+
+* a **registry** of named sketches, each validated on registration
+  (:mod:`repro.synopsis.validate`) unless the caller opts out;
+* **per-request deadlines** via :class:`~repro.resilience.guards.Budget`
+  — a request that runs out of time skips the remaining tiers and serves
+  the terminal prior;
+* a **circuit breaker** per (sketch, tier): a tier that keeps failing is
+  skipped outright until a cooldown elapses
+  (:mod:`repro.serve.circuit`);
+* a **graceful-degradation cascade**.  Tiers, in order:
+
+  1. ``twig`` — the full Twig XSKETCH estimator
+     (:class:`~repro.estimation.estimator.TwigEstimator`);
+  2. ``path`` — the single-path estimator over the same sketch,
+     on the query's primary chain (branching siblings collapsed);
+  3. ``cst`` — the Correlated-Suffix-Tree baseline, when one was
+     registered alongside the sketch (it summarizes the *document*, so
+     it survives synopsis corruption);
+  4. ``uniform`` — the documented uniform prior: a fixed finite
+     estimate (default 1.0 — "one expected binding tuple", the least
+     informative answer that still lets an optimizer pick a plan).
+
+Every answer is an :class:`EstimateResponse` envelope naming the tier
+that produced it, the request latency, and one warning per degradation
+step, so callers can monitor fallback rates.  A tier's answer is only
+accepted when it is finite and non-negative — NaN, ±inf, or a negative
+estimate (the signature of corrupted counts) is treated as a tier
+failure, never returned to the caller.
+
+The service never raises for estimation failures; only caller mistakes
+(unknown sketch name, invalid registration) raise
+:class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..baselines import CorrelatedSuffixTree, CSTEstimator
+from ..errors import (
+    EstimationError,
+    ReproError,
+    ServiceError,
+    SynopsisIntegrityError,
+)
+from ..estimation import PathEstimator, TwigEstimator
+from ..query.ast import Path, TwigQuery
+from ..resilience import Budget
+from ..synopsis import load_sketch, raise_on_violations, validate_sketch
+from ..synopsis.summary import TwigXSketch
+from .circuit import CircuitBreaker
+
+TIER_TWIG = "twig"
+TIER_PATH = "path"
+TIER_CST = "cst"
+TIER_UNIFORM = "uniform"
+
+#: the degradation order; ``uniform`` is terminal and cannot fail
+FALLBACK_TIERS = (TIER_TWIG, TIER_PATH, TIER_CST)
+
+#: the documented uniform prior: one expected binding tuple
+DEFAULT_UNIFORM_PRIOR = 1.0
+
+
+class _TierUnavailable(Exception):
+    """A tier cannot run for this entry (e.g. no baseline registered).
+
+    Internal control flow only: the cascade records a warning and moves
+    on *without* charging the circuit breaker — unavailability is a
+    configuration fact, not a failure."""
+
+
+@dataclass(frozen=True)
+class EstimateResponse:
+    """The response envelope of one :meth:`EstimatorService.estimate`.
+
+    Attributes:
+        estimate: the selectivity estimate; always finite and >= 0.
+        source: the tier that produced it (``twig``/``path``/``cst``/
+            ``uniform``).
+        sketch: the registered sketch name the request addressed.
+        latency: wall-clock seconds spent serving the request.
+        warnings: one entry per degradation event (tier failure, circuit
+            skip, deadline exhaustion, chain collapse), in order.
+    """
+
+    estimate: float
+    source: str
+    sketch: str
+    latency: float
+    warnings: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback tier (not ``twig``) answered."""
+        return self.source != TIER_TWIG
+
+
+@dataclass
+class _Entry:
+    """One registered sketch with its per-tier circuit breakers."""
+
+    name: str
+    sketch: TwigXSketch
+    baseline: Optional[CSTEstimator]
+    breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
+
+
+def _primary_chain(query: TwigQuery) -> tuple[Path, bool]:
+    """Flatten a twig to its primary chain (root, then first children).
+
+    Returns the chain and whether branching siblings were dropped — the
+    degraded path tier estimates the chain only, which over-counts when
+    sibling subtrees would have filtered matches.
+    """
+    steps = []
+    node = query.root
+    collapsed = False
+    while node is not None:
+        steps.extend(node.path.steps)
+        if len(node.children) > 1:
+            collapsed = True
+        node = node.children[0] if node.children else None
+    return Path(tuple(steps)), collapsed
+
+
+class EstimatorService:
+    """A thread-safe registry of validated sketches behind a
+    never-failing estimate call.
+
+    Args:
+        failure_threshold: consecutive tier failures that open that
+            tier's circuit (see :class:`~repro.serve.circuit.CircuitBreaker`).
+        cooldown: seconds an open circuit waits before a probe.
+        uniform_prior: the terminal tier's estimate; must be finite and
+            non-negative.
+        max_embeddings: embedding cap handed to the twig estimator —
+            bounds per-request work even without a deadline.
+        clock: monotonic time source (override in tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        uniform_prior: float = DEFAULT_UNIFORM_PRIOR,
+        max_embeddings: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not math.isfinite(uniform_prior) or uniform_prior < 0:
+            raise ServiceError(
+                f"uniform_prior must be finite and non-negative, "
+                f"got {uniform_prior!r}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.uniform_prior = float(uniform_prior)
+        self.max_embeddings = max_embeddings
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._entries: dict[str, _Entry] = {}
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        sketch: Optional[TwigXSketch] = None,
+        *,
+        path=None,
+        baseline=None,
+        validate: bool = True,
+        replace: bool = False,
+    ) -> None:
+        """Register a sketch under ``name``.
+
+        Args:
+            name: the handle :meth:`estimate` addresses.
+            sketch: an in-memory synopsis, or
+            path: a file to :func:`~repro.synopsis.persist.load_sketch`
+                (exactly one of the two).
+            baseline: an optional :class:`CSTEstimator` (or a
+                :class:`CorrelatedSuffixTree`, wrapped automatically)
+                enabling the ``cst`` fallback tier.
+            validate: run the invariant checker before accepting the
+                sketch (strict load for files); pass False to serve a
+                known-degraded sketch behind the cascade.
+            replace: allow overwriting an existing registration.
+
+        Raises:
+            ServiceError: bad arguments or duplicate name.
+            SynopsisIntegrityError: the sketch (or file) failed
+                validation.
+        """
+        if not isinstance(name, str) or not name:
+            raise ServiceError(f"sketch name must be non-empty, got {name!r}")
+        if (sketch is None) == (path is None):
+            raise ServiceError(
+                "register() takes exactly one of sketch= or path="
+            )
+        if sketch is None:
+            sketch = load_sketch(path, strict=validate)
+        elif validate:
+            try:
+                violations = validate_sketch(sketch)
+            except SynopsisIntegrityError:
+                raise
+            except ReproError as exc:
+                # The checker itself blew up on the sketch's structure:
+                # that is an integrity failure, reported as one.
+                raise SynopsisIntegrityError(
+                    f"sketch {name!r} cannot be validated: {exc}"
+                ) from exc
+            raise_on_violations(violations, source=f"sketch {name!r}")
+        if isinstance(baseline, CorrelatedSuffixTree):
+            baseline = CSTEstimator(baseline)
+        entry = _Entry(name, sketch, baseline)
+        for tier in FALLBACK_TIERS:
+            entry.breakers[tier] = CircuitBreaker(
+                self.failure_threshold, self.cooldown, clock=self._clock
+            )
+        with self._lock:
+            if name in self._entries and not replace:
+                raise ServiceError(
+                    f"sketch {name!r} is already registered "
+                    f"(pass replace=True to overwrite)"
+                )
+            self._entries[name] = entry
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered sketch; unknown names raise."""
+        with self._lock:
+            if name not in self._entries:
+                raise ServiceError(f"no sketch registered as {name!r}")
+            del self._entries[name]
+
+    def names(self) -> list[str]:
+        """The registered sketch names, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def sketch(self, name: str) -> TwigXSketch:
+        """The registered synopsis behind ``name``."""
+        return self._entry(name).sketch
+
+    def breaker_states(self, name: str) -> dict[str, str]:
+        """Current circuit state per tier (monitoring hook)."""
+        entry = self._entry(name)
+        return {tier: b.state for tier, b in entry.breakers.items()}
+
+    def _entry(self, name: str) -> _Entry:
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise ServiceError(
+                    f"no sketch registered as {name!r} "
+                    f"(registered: {sorted(self._entries) or 'none'})"
+                ) from None
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        name: str,
+        query: TwigQuery,
+        *,
+        deadline: Optional[float] = None,
+    ) -> EstimateResponse:
+        """Estimate ``query`` over the sketch registered as ``name``.
+
+        Never raises for estimation failures: the cascade degrades tier
+        by tier and terminates at the uniform prior.  The returned
+        estimate is always finite and non-negative.
+
+        Args:
+            deadline: optional per-request wall-clock budget in seconds;
+                when exhausted, remaining tiers are skipped.
+
+        Raises:
+            ServiceError: unknown sketch name or invalid deadline.
+        """
+        entry = self._entry(name)
+        if deadline is not None and deadline <= 0:
+            raise ServiceError(
+                f"deadline must be positive, got {deadline!r}"
+            )
+        budget = Budget(deadline=deadline, clock=self._clock)
+        warnings: list[str] = []
+        for tier in FALLBACK_TIERS:
+            if budget.expired():
+                warnings.append(
+                    f"deadline of {deadline:g}s exhausted before the "
+                    f"{tier} tier"
+                )
+                break
+            breaker = entry.breakers[tier]
+            if not breaker.allow():
+                warnings.append(f"{tier} tier skipped: circuit open")
+                continue
+            try:
+                value = self._run_tier(entry, tier, query, warnings)
+                value = self._accept(value, tier)
+            except _TierUnavailable as skip:
+                # Configuration fact, not a failure: the breaker is not
+                # charged (an unavailable tier can never have opened it).
+                warnings.append(str(skip))
+                continue
+            except Exception as exc:  # service boundary: degrade, never raise
+                breaker.record_failure()
+                warnings.append(
+                    f"{tier} tier failed: {type(exc).__name__}: {exc}"
+                )
+                continue
+            breaker.record_success()
+            return EstimateResponse(
+                value, tier, name, budget.elapsed(), tuple(warnings)
+            )
+        warnings.append(
+            f"all estimation tiers degraded; serving the uniform prior "
+            f"({self.uniform_prior:g})"
+        )
+        return EstimateResponse(
+            self.uniform_prior,
+            TIER_UNIFORM,
+            name,
+            budget.elapsed(),
+            tuple(warnings),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_tier(
+        self,
+        entry: _Entry,
+        tier: str,
+        query: TwigQuery,
+        warnings: list[str],
+    ) -> float:
+        if tier == TIER_TWIG:
+            return TwigEstimator(
+                entry.sketch, max_embeddings=self.max_embeddings
+            ).estimate(query)
+        if tier == TIER_PATH:
+            chain, collapsed = _primary_chain(query)
+            if collapsed:
+                warnings.append(
+                    "path tier collapsed branching siblings to the "
+                    "primary chain"
+                )
+            return PathEstimator(entry.sketch).estimate(chain)
+        if tier == TIER_CST:
+            if entry.baseline is None:
+                raise _TierUnavailable(
+                    "cst tier unavailable: no baseline registered for "
+                    f"{entry.name!r}"
+                )
+            return entry.baseline.estimate(query)
+        raise ServiceError(f"unknown tier {tier!r}")  # pragma: no cover
+
+    @staticmethod
+    def _accept(value: float, tier: str) -> float:
+        """Gate a tier's answer: finite and non-negative, or it failed."""
+        value = float(value)
+        if not math.isfinite(value) or value < 0:
+            raise EstimationError(
+                f"{tier} tier produced an unusable estimate {value!r} "
+                f"(corrupted statistics?)"
+            )
+        return value

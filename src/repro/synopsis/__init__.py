@@ -12,11 +12,20 @@ Public surface:
 
 from .distributions import EdgeRef, exact_edge_distribution, mean_child_count
 from .persist import (
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
     FrozenGraph,
     load_sketch,
+    payload_digest,
     save_sketch,
     sketch_from_dict,
     sketch_to_dict,
+)
+from .validate import (
+    Violation,
+    error_violations,
+    raise_on_violations,
+    validate_sketch,
 )
 from .graph import GraphSynopsis, SynopsisEdge, SynopsisNode, label_split_synopsis
 from .summary import (
@@ -37,7 +46,10 @@ __all__ = [
     "EdgeHistogram",
     "EdgeRef",
     "ExtendedValueSummary",
+    "FORMAT_VERSION",
     "FrozenGraph",
+    "SUPPORTED_VERSIONS",
+    "Violation",
     "GraphSynopsis",
     "SynopsisEdge",
     "SynopsisNode",
@@ -46,13 +58,17 @@ __all__ = [
     "ValueSummary",
     "XSketchConfig",
     "bstable_ancestors",
+    "error_violations",
     "exact_edge_distribution",
     "label_split_synopsis",
     "load_sketch",
+    "payload_digest",
+    "raise_on_violations",
     "save_sketch",
     "sketch_from_dict",
     "sketch_to_dict",
     "mean_child_count",
     "stable_count_edges",
     "twig_stable_neighborhood",
+    "validate_sketch",
 ]

@@ -1,0 +1,328 @@
+"""Tests for the robust estimation service (repro.serve)."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.baselines import CorrelatedSuffixTree
+from repro.build import xbuild
+from repro.datasets import generate_imdb
+from repro.errors import ServiceError, SynopsisError, SynopsisIntegrityError
+from repro.query import parse_for_clause, parse_path, twig
+from repro.serve import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    EstimatorService,
+    TIER_CST,
+    TIER_PATH,
+    TIER_TWIG,
+    TIER_UNIFORM,
+)
+from repro.serve.service import _primary_chain
+from repro.synopsis import load_sketch, save_sketch, sketch_to_dict
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return generate_imdb(2000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def sketch(tree):
+    return xbuild(tree, budget_bytes=3 * 1024, seed=3)
+
+
+@pytest.fixture(scope="module")
+def baseline(tree):
+    return CorrelatedSuffixTree.build(tree, 8 * 1024)
+
+
+@pytest.fixture()
+def query():
+    return parse_for_clause("for m in movie, a in m/actor")
+
+
+class _ExplodingGraph:
+    """A poisoned graph: every read access fails like corrupt storage."""
+
+    def __getattr__(self, name):
+        raise SynopsisError("synopsis storage is corrupt")
+
+
+def _poisoned(sketch):
+    """A sketch whose graph reads explode (twig and path tiers fail)."""
+    poisoned = sketch.copy()
+    poisoned.graph = _ExplodingGraph()
+    return poisoned
+
+
+def _corrupt_file(sketch, tmp_path):
+    """A schema-valid legacy (v1) file whose counts were mangled."""
+    path = tmp_path / "corrupt.json"
+    payload = sketch_to_dict(sketch)
+    payload["version"] = 1
+    del payload["digest"]
+    for node in payload["nodes"]:
+        node["count"] = -node["count"]
+    path.write_text(json.dumps(payload), encoding="utf8")
+    return path
+
+
+class TestRegistry:
+    def test_register_and_names(self, sketch):
+        service = EstimatorService()
+        service.register("a", sketch)
+        service.register("b", sketch)
+        assert service.names() == ["a", "b"]
+        assert service.sketch("a") is sketch
+
+    def test_register_validates_by_default(self, sketch):
+        service = EstimatorService()
+        with pytest.raises(SynopsisIntegrityError):
+            service.register("bad", _poisoned(sketch))
+
+    def test_register_validate_opt_out(self, sketch):
+        service = EstimatorService()
+        service.register("bad", _poisoned(sketch), validate=False)
+        assert service.names() == ["bad"]
+
+    def test_duplicate_name_rejected(self, sketch):
+        service = EstimatorService()
+        service.register("a", sketch)
+        with pytest.raises(ServiceError):
+            service.register("a", sketch)
+        service.register("a", sketch, replace=True)
+
+    def test_exactly_one_source(self, sketch):
+        service = EstimatorService()
+        with pytest.raises(ServiceError):
+            service.register("a")
+        with pytest.raises(ServiceError):
+            service.register("a", sketch, path="also.json")
+
+    def test_register_from_file(self, sketch, tmp_path):
+        path = tmp_path / "sketch.json"
+        save_sketch(sketch, path)
+        service = EstimatorService()
+        service.register("file", path=path)
+        assert service.names() == ["file"]
+
+    def test_register_corrupt_file_rejected(self, sketch, tmp_path):
+        service = EstimatorService()
+        with pytest.raises(SynopsisIntegrityError):
+            service.register("bad", path=_corrupt_file(sketch, tmp_path))
+
+    def test_unknown_name(self, query):
+        with pytest.raises(ServiceError):
+            EstimatorService().estimate("nope", query)
+
+    def test_unregister(self, sketch):
+        service = EstimatorService()
+        service.register("a", sketch)
+        service.unregister("a")
+        assert service.names() == []
+        with pytest.raises(ServiceError):
+            service.unregister("a")
+
+
+class TestHappyPath:
+    def test_twig_tier_answers(self, sketch, query):
+        service = EstimatorService()
+        service.register("imdb", sketch)
+        response = service.estimate("imdb", query)
+        assert response.source == TIER_TWIG
+        assert not response.degraded
+        assert response.warnings == ()
+        assert response.sketch == "imdb"
+        assert response.latency >= 0
+        assert math.isfinite(response.estimate) and response.estimate >= 0
+
+    def test_envelope_is_frozen(self, sketch, query):
+        service = EstimatorService()
+        service.register("imdb", sketch)
+        response = service.estimate("imdb", query)
+        with pytest.raises(AttributeError):
+            response.estimate = 0.0
+
+
+class TestDegradation:
+    def test_corrupt_file_falls_back_finite(self, sketch, baseline, query, tmp_path):
+        """The acceptance scenario: a corrupted sketch file still yields a
+        finite, non-negative estimate from a named fallback tier."""
+        bad = load_sketch(_corrupt_file(sketch, tmp_path))  # fast mode
+        service = EstimatorService()
+        service.register("bad", bad, baseline=baseline, validate=False)
+        response = service.estimate("bad", query)
+        assert response.source != TIER_TWIG
+        assert response.source in (TIER_PATH, TIER_CST, TIER_UNIFORM)
+        assert math.isfinite(response.estimate)
+        assert response.estimate >= 0
+        assert response.warnings  # every degradation step is recorded
+
+    def test_cst_tier_survives_poisoned_sketch(self, sketch, baseline):
+        service = EstimatorService()
+        service.register(
+            "bad", _poisoned(sketch), baseline=baseline, validate=False
+        )
+        query = twig(parse_path("movie/actor"))
+        response = service.estimate("bad", query)
+        assert response.source == TIER_CST
+        assert math.isfinite(response.estimate) and response.estimate >= 0
+        failed = [w for w in response.warnings if "failed" in w]
+        assert len(failed) == 2  # twig and path both degraded
+
+    def test_uniform_prior_is_terminal(self, sketch, query):
+        service = EstimatorService(uniform_prior=7.5)
+        service.register("bad", _poisoned(sketch), validate=False)
+        response = service.estimate("bad", query)
+        assert response.source == TIER_UNIFORM
+        assert response.estimate == 7.5
+        assert any("unavailable" in w for w in response.warnings)
+        assert any("uniform prior" in w for w in response.warnings)
+
+    def test_never_raises_never_nan(self, sketch, baseline, query, tmp_path):
+        bad = load_sketch(_corrupt_file(sketch, tmp_path))
+        service = EstimatorService()
+        service.register("bad", bad, baseline=baseline, validate=False)
+        for _ in range(10):
+            response = service.estimate("bad", query)
+            assert math.isfinite(response.estimate)
+            assert response.estimate >= 0
+
+
+class TestDeadlines:
+    def test_exhausted_deadline_serves_prior(self, sketch, query):
+        clock = FakeClock()
+        service = EstimatorService(clock=clock)
+        service.register("imdb", sketch)
+        original = clock.__call__
+        # Every clock read advances 10s: the budget expires before the
+        # first tier is consulted.
+        def slow_clock():
+            clock.advance(10.0)
+            return clock.now
+        service._clock = slow_clock
+        response = service.estimate("imdb", query, deadline=5.0)
+        assert response.source == TIER_UNIFORM
+        assert any("deadline" in w for w in response.warnings)
+        service._clock = original
+
+    def test_invalid_deadline(self, sketch, query):
+        service = EstimatorService()
+        service.register("imdb", sketch)
+        with pytest.raises(ServiceError):
+            service.estimate("imdb", query, deadline=0.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self, sketch, query):
+        clock = FakeClock()
+        service = EstimatorService(
+            failure_threshold=2, cooldown=30.0, clock=clock
+        )
+        service.register("bad", _poisoned(sketch), validate=False)
+        for _ in range(2):
+            response = service.estimate("bad", query)
+            assert any("twig tier failed" in w for w in response.warnings)
+        assert service.breaker_states("bad")[TIER_TWIG] == OPEN
+        response = service.estimate("bad", query)
+        assert any("circuit open" in w for w in response.warnings)
+
+    def test_half_open_probe_and_recovery(self, sketch, query):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 30.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(31.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 30.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(31.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_breaker_rejects_bad_config(self):
+        with pytest.raises(ServiceError):
+            CircuitBreaker(0)
+        with pytest.raises(ServiceError):
+            CircuitBreaker(5, cooldown=0)
+
+
+class TestConcurrency:
+    def test_parallel_estimates_stay_finite(self, sketch, baseline, query):
+        service = EstimatorService()
+        service.register("imdb", sketch, baseline=baseline)
+        results = []
+        errors = []
+
+        def worker(index):
+            try:
+                name = f"extra-{index}"
+                service.register(name, sketch, replace=True)
+                for _ in range(5):
+                    response = service.estimate("imdb", query)
+                    results.append(response.estimate)
+                service.unregister(name)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 40
+        assert all(math.isfinite(value) for value in results)
+        assert len(set(results)) == 1  # read-only sketch: one answer
+
+
+class TestPrimaryChain:
+    def test_branching_query_collapses(self):
+        query = parse_for_clause(
+            "for m in movie, a in m/actor, k in m/keyword"
+        )
+        chain, collapsed = _primary_chain(query)
+        assert [s.tag for s in chain.steps] == ["movie", "actor"]
+        assert collapsed
+
+    def test_pure_path_not_collapsed(self):
+        query = twig(parse_path("movie/actor/name"))
+        chain, collapsed = _primary_chain(query)
+        assert [s.tag for s in chain.steps] == ["movie", "actor", "name"]
+        assert not collapsed
+
+    def test_bad_uniform_prior_rejected(self):
+        with pytest.raises(ServiceError):
+            EstimatorService(uniform_prior=float("nan"))
+        with pytest.raises(ServiceError):
+            EstimatorService(uniform_prior=-1.0)

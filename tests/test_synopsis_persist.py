@@ -6,17 +6,20 @@ import pytest
 
 from repro.build import ValueExpand, xbuild
 from repro.datasets import figure1_document, generate_imdb, movie_document
-from repro.errors import SynopsisError
+from repro.errors import SynopsisError, SynopsisIntegrityError
 from repro.estimation import PathEstimator, TwigEstimator
 from repro.query import parse_for_clause, parse_path, twig
 from repro.synopsis import (
+    FORMAT_VERSION,
     EdgeRef,
     TwigXSketch,
     XSketchConfig,
     load_sketch,
+    payload_digest,
     save_sketch,
     sketch_from_dict,
     sketch_to_dict,
+    validate_sketch,
 )
 
 
@@ -112,6 +115,110 @@ class TestFiles:
         payload["version"] = 999
         with pytest.raises(SynopsisError):
             sketch_from_dict(payload)
+
+
+class TestIntegrity:
+    def test_payload_carries_digest_and_version(self, built_sketch):
+        payload = sketch_to_dict(built_sketch)
+        assert payload["version"] == FORMAT_VERSION
+        assert payload["digest"] == payload_digest(payload)
+
+    def test_digest_stable_across_json_round_trip(self, built_sketch):
+        payload = sketch_to_dict(built_sketch)
+        reloaded = json.loads(json.dumps(payload))
+        assert payload_digest(reloaded) == payload["digest"]
+
+    def test_strict_round_trip_clean(self, built_sketch, tmp_path):
+        path = tmp_path / "synopsis.json"
+        save_sketch(built_sketch, path)
+        loaded = load_sketch(path, strict=True)
+        assert validate_sketch(loaded) == []
+        assert sketch_to_dict(loaded)["digest"] == (
+            sketch_to_dict(built_sketch)["digest"]
+        )
+
+    def test_tampered_content_raises_integrity_error(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        payload["nodes"][0]["count"] += 1
+        with pytest.raises(SynopsisIntegrityError) as excinfo:
+            sketch_from_dict(payload)
+        assert "digest" in str(excinfo.value)
+
+    def test_missing_key_is_typed(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        del payload["nodes"][0]["count"]
+        payload["digest"] = payload_digest(payload)  # forge the digest
+        with pytest.raises(SynopsisIntegrityError) as excinfo:
+            sketch_from_dict(payload)
+        assert "count" in str(excinfo.value)
+        assert excinfo.value.path.startswith("nodes[0]")
+
+    def test_extra_key_is_typed(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        payload["edges"][2]["surprise"] = 1
+        payload["digest"] = payload_digest(payload)
+        with pytest.raises(SynopsisIntegrityError) as excinfo:
+            sketch_from_dict(payload)
+        assert excinfo.value.path == "edges[2]"
+
+    def test_extra_top_level_key_rejected(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        payload["extensions"] = {}
+        payload["digest"] = payload_digest(payload)
+        with pytest.raises(SynopsisIntegrityError):
+            sketch_from_dict(payload)
+
+    def test_wrong_type_is_typed(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        payload["nodes"][0]["count"] = "many"
+        payload["digest"] = payload_digest(payload)
+        with pytest.raises(SynopsisIntegrityError) as excinfo:
+            sketch_from_dict(payload)
+        assert "int" in str(excinfo.value)
+
+    def test_edge_to_undeclared_node_rejected(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        payload["edges"][0]["target"] = 424242
+        payload["digest"] = payload_digest(payload)
+        with pytest.raises(SynopsisIntegrityError):
+            sketch_from_dict(payload)
+
+    def test_version_1_files_still_load(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        payload["version"] = 1
+        del payload["digest"]
+        loaded = sketch_from_dict(payload)
+        assert loaded.graph.node_count == built_sketch.graph.node_count
+
+    def test_missing_version_rejected(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        del payload["version"]
+        with pytest.raises(SynopsisIntegrityError):
+            sketch_from_dict(payload)
+
+    def test_strict_mode_runs_invariants(self, built_sketch):
+        payload = json.loads(json.dumps(sketch_to_dict(built_sketch)))
+        payload["version"] = 1
+        del payload["digest"]
+        for node in payload["nodes"]:
+            node["count"] = -node["count"]
+        sketch_from_dict(payload)  # fast mode: schema-valid
+        with pytest.raises(SynopsisIntegrityError):
+            sketch_from_dict(payload, strict=True)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(SynopsisIntegrityError):
+            sketch_from_dict([1, 2, 3])
+
+    def test_truncated_file_raises_integrity_error(
+        self, built_sketch, tmp_path
+    ):
+        path = tmp_path / "synopsis.json"
+        save_sketch(built_sketch, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SynopsisIntegrityError):
+            load_sketch(path)
 
 
 class TestFrozenGraph:
