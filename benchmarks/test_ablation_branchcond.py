@@ -16,16 +16,17 @@ from repro.experiments import (
     workload,
 )
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def branch_ablation(experiment_config):
-    rows = run_branch_conditioning_ablation(experiment_config)
-    record_report(
-        "ablation_branchcond", format_branch_conditioning_ablation(rows)
+    return run_recorded(
+        "ablation_branchcond",
+        run_branch_conditioning_ablation,
+        format_branch_conditioning_ablation,
+        experiment_config,
     )
-    return rows
 
 
 def test_conditioning_not_worse(branch_ablation):

@@ -15,14 +15,17 @@ from repro.experiments import (
 from repro.synopsis import TwigXSketch, XSketchConfig
 from repro.experiments import dataset
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def edge_count_ablation(experiment_config):
-    rows = run_edge_count_ablation(experiment_config)
-    record_report("ablation_edgecounts", format_edge_count_ablation(rows))
-    return rows
+    return run_recorded(
+        "ablation_edgecounts",
+        run_edge_count_ablation,
+        format_edge_count_ablation,
+        experiment_config,
+    )
 
 
 def test_both_variants_produce_finite_errors(edge_count_ablation):

@@ -15,14 +15,17 @@ from repro.experiments import (
 )
 from repro.histogram import CentroidHistogram, SparseDistribution, WaveletHistogram
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def engine_ablation(experiment_config):
-    rows = run_engine_ablation(experiment_config)
-    record_report("ablation_histograms", format_engine_ablation(rows))
-    return rows
+    return run_recorded(
+        "ablation_histograms",
+        run_engine_ablation,
+        format_engine_ablation,
+        experiment_config,
+    )
 
 
 def test_both_engines_usable(engine_ablation):

@@ -16,14 +16,15 @@ from repro.experiments import (
     workload,
 )
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def path_ablation(experiment_config):
-    rows = run_path_ablation(experiment_config)
-    record_report("ablation_paths", format_path_ablation(rows))
-    return rows
+    return run_recorded(
+        "ablation_paths", run_path_ablation, format_path_ablation,
+        experiment_config,
+    )
 
 
 def test_twig_estimates_paths_with_low_error(path_ablation):

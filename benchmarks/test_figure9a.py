@@ -16,14 +16,14 @@ from repro.experiments import (
     workload,
 )
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def figure9a(experiment_config):
-    series = run_figure9a(experiment_config)
-    record_report("figure9a", format_figure9a(series))
-    return series
+    return run_recorded(
+        "figure9a", run_figure9a, format_figure9a, experiment_config
+    )
 
 
 def test_imdb_error_decreases(figure9a):

@@ -16,14 +16,14 @@ from repro.experiments import (
     workload,
 )
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def figure9b(experiment_config):
-    series = run_figure9b(experiment_config)
-    record_report("figure9b", format_figure9b(series))
-    return series
+    return run_recorded(
+        "figure9b", run_figure9b, format_figure9b, experiment_config
+    )
 
 
 def test_error_reduced_from_coarsest(figure9b):

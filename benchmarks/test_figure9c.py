@@ -15,14 +15,14 @@ from repro.experiments import (
     workload,
 )
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def figure9c(experiment_config):
-    series = run_figure9c(experiment_config)
-    record_report("figure9c", format_figure9c(series))
-    return series
+    return run_recorded(
+        "figure9c", run_figure9c, format_figure9c, experiment_config
+    )
 
 
 def test_xsketch_wins_at_largest_budget(figure9c):

@@ -16,14 +16,14 @@ from repro.experiments import (
 )
 from repro.workload import sanity_bound
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def negative(experiment_config):
-    results = run_negative(experiment_config)
-    record_report("negative", format_negative(results))
-    return results
+    return run_recorded(
+        "negative", run_negative, format_negative, experiment_config
+    )
 
 
 def test_estimates_close_to_zero(negative, experiment_config):

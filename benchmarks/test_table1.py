@@ -10,14 +10,12 @@ import pytest
 from repro.experiments import dataset, format_table1, run_table1
 from repro.synopsis import TwigXSketch
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def table1(experiment_config):
-    rows = run_table1(experiment_config)
-    record_report("table1", format_table1(rows))
-    return rows
+    return run_recorded("table1", run_table1, format_table1, experiment_config)
 
 
 def test_table1_shape(table1):

@@ -10,14 +10,12 @@ import pytest
 from repro.experiments import dataset, format_table2, run_table2, workload
 from repro.query import count_bindings
 
-from conftest import record_report
+from conftest import run_recorded
 
 
 @pytest.fixture(scope="module")
 def table2(experiment_config):
-    rows = run_table2(experiment_config)
-    record_report("table2", format_table2(rows))
-    return rows
+    return run_recorded("table2", run_table2, format_table2, experiment_config)
 
 
 def test_table2_shape(table2):

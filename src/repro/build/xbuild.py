@@ -19,17 +19,29 @@ checkpoint — the resumed build replays the refinement trail over the
 coarsest synopsis and restores the RNG state, so it is bit-identical to
 the uninterrupted build.  When a budget runs out the loop returns the
 best-so-far sketch with ``truncated=True`` instead of raising.
+
+Observability (:mod:`repro.obs`): the loop records round/refinement/
+oracle-call counters, a per-round latency histogram, and ``build_*``
+gauges (current size, the sampled-region error after the applied
+refinement) into the default metrics registry — or one passed as
+``metrics=`` — and, when handed a ``tracer=``, wraps the build, every
+round, and every candidate evaluation in spans.  The tracer defaults to
+the disabled :data:`~repro.obs.tracing.NULL_TRACER`, so an untraced
+build pays one ``if`` per would-be span.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from ..doc.tree import DocumentTree
 from ..errors import BuildError, CheckpointError, ResourceLimitError
 from ..estimation.estimator import TwigEstimator
+from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.tracing import NULL_TRACER, SpanTracer
 from ..resilience.checkpoint import (
     BuildCheckpoint,
     config_signature,
@@ -97,6 +109,9 @@ class _Scored:
     size_bytes: int
     gain: float
     score: float
+    #: sampled-region avg relative error after this refinement (the
+    #: ``build_best_error`` gauge when the candidate is applied)
+    error: float = 0.0
 
 
 @dataclass
@@ -141,6 +156,10 @@ class XBuild:
             continue from; its identity (document fingerprint, seed,
             budget, config) must match this build or
             :class:`~repro.errors.CheckpointError` is raised.
+        metrics: registry the build's counters/gauges/histograms are
+            recorded into (default: the process-global registry).
+        tracer: span tracer for per-build/round/candidate spans
+            (default: the disabled no-op tracer).
     """
 
     def __init__(
@@ -162,6 +181,8 @@ class XBuild:
         checkpoint_every: Optional[int] = None,
         checkpoint_path=None,
         resume_from: Union[None, str, BuildCheckpoint] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         if max_stall_rounds < 1:
             raise BuildError("max_stall_rounds must be at least 1")
@@ -189,6 +210,36 @@ class XBuild:
         self.sampler = RegionSampler(
             tree, self.rng, value_probability=sample_value_probability
         )
+        registry = metrics if metrics is not None else default_registry()
+        self.metrics = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._rounds = registry.counter(
+            "build_rounds_total", "XBUILD rounds executed"
+        )
+        self._refinements = registry.counter(
+            "build_refinements_total",
+            "refinements applied, by kind",
+            ["kind"],
+        )
+        self._oracle_calls = registry.counter(
+            "build_oracle_calls_total",
+            "truth-oracle evaluations during candidate scoring",
+        )
+        self._candidates = registry.counter(
+            "build_candidates_total",
+            "candidates evaluated, by outcome",
+            ["outcome"],
+        )
+        self._size_gauge = registry.gauge(
+            "build_size_bytes", "current synopsis size of the build"
+        )
+        self._error_gauge = registry.gauge(
+            "build_best_error",
+            "sampled-region avg relative error after the applied refinement",
+        )
+        self._round_seconds = registry.histogram(
+            "build_round_seconds", "wall-clock seconds per XBUILD round"
+        )
 
     def run(self) -> XBuildResult:
         """Build the synopsis; sizes along ``steps`` increase monotonically."""
@@ -196,40 +247,79 @@ class XBuild:
         size = state.sketch.size_bytes()
         truncated = False
         reason = "completed"
-        try:
-            while (
-                size < self.budget_bytes
-                and state.stall < self.max_stall_rounds
-            ):
-                if len(state.steps) >= self.max_steps:
-                    truncated = True
-                    reason = f"step limit ({self.max_steps}) reached"
-                    break
-                self._guard.check_deadline("XBUILD round")
-                fault_check(SITE_BUILD_ROUND)
-                best = self._best_candidate(state.sketch, size)
-                if best is None:
-                    state.stall += 1  # redraw a fresh pool before giving up
-                    continue
-                state.stall = 0
-                state.sketch = best.refined
-                size = best.size_bytes
-                state.steps.append(
-                    BuildStep(best.candidate.describe(), size, best.gain)
-                )
-                state.trail.append(best.candidate)
-                self._maybe_checkpoint(state)
-                # after the checkpoint write: a fault here lands exactly at
-                # the boundary the resume tests interrupt at
-                fault_check(SITE_BUILD_STEP)
-                if self.on_step is not None:
-                    self.on_step(state.sketch)
-        except ResourceLimitError as error:
-            # budget exhausted mid-build: checkpoint what we have and
-            # return the best-so-far sketch instead of losing the work
-            truncated = True
-            reason = str(error)
-            self._write_checkpoint(state)
+        rounds = 0
+        self._size_gauge.set(size)
+        with self.tracer.span(
+            "xbuild.build", budget_bytes=self.budget_bytes, seed=self.seed
+        ) as build_span:
+            try:
+                while (
+                    size < self.budget_bytes
+                    and state.stall < self.max_stall_rounds
+                ):
+                    if len(state.steps) >= self.max_steps:
+                        truncated = True
+                        reason = f"step limit ({self.max_steps}) reached"
+                        break
+                    self._guard.check_deadline("XBUILD round")
+                    fault_check(SITE_BUILD_ROUND)
+                    rounds += 1
+                    round_started = time.perf_counter()
+                    with self.tracer.span(
+                        "xbuild.round", round=rounds
+                    ) as round_span:
+                        best = self._best_candidate(state.sketch, size)
+                        if best is None:
+                            # redraw a fresh pool before giving up
+                            state.stall += 1
+                            round_span.annotate(
+                                outcome="stall", stall=state.stall
+                            )
+                        else:
+                            state.stall = 0
+                            state.sketch = best.refined
+                            size = best.size_bytes
+                            state.steps.append(
+                                BuildStep(
+                                    best.candidate.describe(), size, best.gain
+                                )
+                            )
+                            state.trail.append(best.candidate)
+                            round_span.annotate(
+                                outcome="applied",
+                                refinement=best.candidate.describe(),
+                                size_bytes=size,
+                                gain=best.gain,
+                            )
+                    self._rounds.inc()
+                    self._round_seconds.observe(
+                        time.perf_counter() - round_started
+                    )
+                    if best is None:
+                        continue
+                    self._refinements.inc(
+                        kind=best.candidate.describe().split()[0]
+                    )
+                    self._size_gauge.set(size)
+                    self._error_gauge.set(best.error)
+                    self._maybe_checkpoint(state)
+                    # after the checkpoint write: a fault here lands exactly
+                    # at the boundary the resume tests interrupt at
+                    fault_check(SITE_BUILD_STEP)
+                    if self.on_step is not None:
+                        self.on_step(state.sketch)
+            except ResourceLimitError as error:
+                # budget exhausted mid-build: checkpoint what we have and
+                # return the best-so-far sketch instead of losing the work
+                truncated = True
+                reason = str(error)
+                self._write_checkpoint(state)
+            build_span.annotate(
+                rounds=rounds,
+                steps=len(state.steps),
+                size_bytes=size,
+                truncated=truncated,
+            )
         return XBuildResult(
             state.sketch, state.steps, truncated=truncated, reason=reason
         )
@@ -318,44 +408,56 @@ class XBuild:
         for candidate in pool:
             self._guard.check_deadline("XBUILD candidate evaluation")
             fault_check(SITE_BUILD_APPLY)
-            try:
-                refined = candidate.apply(sketch)
-            except BuildError:
-                continue
-            refined_size = refined.size_bytes()
-            delta = refined_size - size
-            if delta <= 0:
-                continue
-            region = frozenset(candidate.region())
-            if region not in measured:
-                queries = self.sampler.sample_for_regions(
-                    sketch, region, queries=self.sample_queries
-                )
-                truths = [self.oracle.true_count(q) for q in queries]
-                base_error = (
-                    average_relative_error(
-                        [base_estimator.estimate(q) for q in queries], truths
-                    )
-                    if queries
-                    else 0.0
-                )
-                measured[region] = (queries, truths, base_error)
-            queries, truths, base_error = measured[region]
-            if queries:
-                estimator = TwigEstimator(refined)
-                refined_error = average_relative_error(
-                    [estimator.estimate(q) for q in queries], truths
-                )
-                gain = base_error - refined_error
-            else:
-                gain = 0.0
-            score = gain / delta
-            if (
-                best is None
-                or score > best.score
-                or (score == best.score and refined_size < best.size_bytes)
+            with self.tracer.span(
+                "xbuild.candidate", refinement=candidate.describe()
             ):
-                best = _Scored(candidate, refined, refined_size, gain, score)
+                try:
+                    refined = candidate.apply(sketch)
+                except BuildError:
+                    self._candidates.inc(outcome="inapplicable")
+                    continue
+                refined_size = refined.size_bytes()
+                delta = refined_size - size
+                if delta <= 0:
+                    self._candidates.inc(outcome="non-growing")
+                    continue
+                region = frozenset(candidate.region())
+                if region not in measured:
+                    queries = self.sampler.sample_for_regions(
+                        sketch, region, queries=self.sample_queries
+                    )
+                    truths = [self.oracle.true_count(q) for q in queries]
+                    self._oracle_calls.inc(len(queries))
+                    base_error = (
+                        average_relative_error(
+                            [base_estimator.estimate(q) for q in queries],
+                            truths,
+                        )
+                        if queries
+                        else 0.0
+                    )
+                    measured[region] = (queries, truths, base_error)
+                queries, truths, base_error = measured[region]
+                if queries:
+                    estimator = TwigEstimator(refined)
+                    refined_error = average_relative_error(
+                        [estimator.estimate(q) for q in queries], truths
+                    )
+                    gain = base_error - refined_error
+                else:
+                    refined_error = 0.0
+                    gain = 0.0
+                self._candidates.inc(outcome="scored")
+                score = gain / delta
+                if (
+                    best is None
+                    or score > best.score
+                    or (score == best.score and refined_size < best.size_bytes)
+                ):
+                    best = _Scored(
+                        candidate, refined, refined_size, gain, score,
+                        refined_error,
+                    )
         return best
 
 

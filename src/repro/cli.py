@@ -22,7 +22,16 @@ Commands:
   schema, and every invariant in ``repro.synopsis.validate``;
 * ``serve-eval`` — run a workload through the graceful-degradation
   :class:`~repro.serve.EstimatorService` and report per-tier counts,
-  latency, and accuracy.
+  latency, per-request warnings, and final breaker states;
+  ``--metrics-json PATH`` additionally exports a machine-readable
+  ``repro.obs/serve-eval-v1`` envelope (``-`` = stdout);
+* ``metrics`` — exercise the full pipeline (parse → XBUILD → serve a
+  workload) against the process-global metrics registry and export the
+  resulting series as JSON or Prometheus text.
+
+Observability flags: ``build`` and ``serve-eval`` accept ``--trace FILE``
+to stream spans as JSONL; ``estimate`` accepts ``--explain`` to print the
+per-synopsis-node expansion trail behind the returned number.
 
 The CLI is a thin veneer over the public API; every command maps to a few
 library calls shown in README.md.  File-loading commands accept
@@ -33,6 +42,7 @@ failing.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from collections import Counter
@@ -40,10 +50,24 @@ from collections import Counter
 from .analysis import analyze_paths, default_roots, render_json, render_text
 from .baselines import CorrelatedSuffixTree
 from .build import XBuild
-from .datasets import generate_imdb, generate_sprot, generate_xmark
+from .datasets import (
+    figure1_document,
+    generate_imdb,
+    generate_sprot,
+    generate_xmark,
+)
 from .doc import document_stats, parse_file
 from .errors import ReproError
 from .estimation import TwigEstimator
+from .obs import (
+    SERVE_EVAL_SCHEMA,
+    ExplainRecorder,
+    JsonlSink,
+    SpanTracer,
+    default_registry,
+    render_explanation,
+    write_export,
+)
 from .query import count_bindings, parse_for_clause, parse_path, twig
 from .serve import EstimatorService
 from .synopsis import (
@@ -59,6 +83,8 @@ _DATASETS = {
     "imdb": generate_imdb,
     "xmark": generate_xmark,
     "sprot": generate_sprot,
+    # The paper's own running example (Figure 1); scale is ignored.
+    "paperfig": lambda scale, seed=1: figure1_document(),
 }
 
 
@@ -74,6 +100,31 @@ def _parse_query(text: str):
     if stripped.lower().startswith("for ") or " in " in stripped:
         return parse_for_clause(stripped)
     return twig(parse_path(stripped))
+
+
+def _open_tracer(path):
+    """Build a JSONL-sinking tracer for ``--trace PATH`` (or ``(None, None)``)."""
+    if not path:
+        return None, None
+    sink = JsonlSink(path)
+    return SpanTracer(sink), sink
+
+
+def _flat_query(query) -> str:
+    return " | ".join(line.strip() for line in query.text().splitlines())
+
+
+def _breakers_from_registry(registry, sketch: str) -> dict:
+    """Final breaker states, read back from ``serve_breaker_state`` gauges."""
+    states: dict = {}
+    for metric in registry.snapshot()["metrics"]:
+        if metric["name"] != "serve_breaker_state":
+            continue
+        for series in metric["series"]:
+            labels = series["labels"]
+            if labels.get("sketch") == sketch and series["value"] == 1.0:
+                states[labels["tier"]] = labels["state"]
+    return states
 
 
 def cmd_stats(args) -> int:
@@ -95,6 +146,7 @@ def cmd_build(args) -> int:
     checkpoint_every = args.checkpoint_every
     if args.checkpoint and checkpoint_every is None:
         checkpoint_every = 1
+    tracer, sink = _open_tracer(args.trace)
     result = XBuild(
         tree,
         budget_bytes=int(args.budget * 1024),
@@ -104,6 +156,7 @@ def cmd_build(args) -> int:
         checkpoint_every=checkpoint_every,
         checkpoint_path=args.checkpoint,
         resume_from=args.resume,
+        tracer=tracer,
     ).run()
     sketch = result.sketch
     print(f"built {sketch.size_kb():.1f} KB synopsis "
@@ -120,6 +173,9 @@ def cmd_build(args) -> int:
     if args.out:
         save_sketch(sketch, args.out)
         print(f"saved to {args.out}")
+    if sink is not None:
+        sink.close()
+        print(f"trace: {sink.written} spans -> {args.trace}")
     return 0
 
 
@@ -137,11 +193,15 @@ def cmd_estimate(args) -> int:
                 0.3 if query.has_value_predicates() else 0.0
             ),
         ).run().sketch
-    report = TwigEstimator(sketch).report(query)
+    explain = ExplainRecorder() if getattr(args, "explain", False) else None
+    report = TwigEstimator(sketch, explain=explain).report(query)
     print(f"synopsis: {sketch.size_kb():.1f} KB; "
           f"embeddings: {report.embeddings}"
           + (" (truncated)" if report.truncated else ""))
     print(f"estimated selectivity: {report.selectivity:,.1f}")
+    if explain is not None:
+        print("--- explain ---")
+        print(render_explanation(explain))
     if args.exact:
         truth = count_bindings(query, tree)
         print(f"exact selectivity:     {truth:,}")
@@ -212,15 +272,25 @@ def cmd_serve_eval(args) -> int:
     if not args.file and not args.dataset:
         raise ReproError("serve-eval needs an XML file or --dataset")
     tree = _load_tree(args)
+    registry = default_registry()
+    tracer, sink = _open_tracer(args.trace)
     if args.synopsis:
         sketch = load_sketch(args.synopsis, strict=not args.no_validate)
         source = args.synopsis
     else:
         sketch = XBuild(
-            tree, budget_bytes=int(args.budget * 1024), seed=args.seed
+            tree,
+            budget_bytes=int(args.budget * 1024),
+            seed=args.seed,
+            metrics=registry,
+            tracer=tracer,
         ).run().sketch
         source = f"XBUILD ({sketch.size_kb():.1f} KB)"
-    service = EstimatorService(failure_threshold=args.failure_threshold)
+    service = EstimatorService(
+        failure_threshold=args.failure_threshold,
+        metrics=registry,
+        tracer=tracer,
+    )
     service.register(
         "default",
         sketch,
@@ -230,6 +300,7 @@ def cmd_serve_eval(args) -> int:
     spec = WorkloadSpec(seed=args.seed)
     load = WorkloadGenerator(tree, spec).positive_workload(args.queries)
     tiers: Counter = Counter()
+    requests = []
     warnings = 0
     latency = 0.0
     error_sum = 0.0
@@ -241,11 +312,23 @@ def cmd_serve_eval(args) -> int:
         tiers[response.source] += 1
         warnings += len(response.warnings)
         latency += response.latency
+        requests.append({
+            "query": _flat_query(entry.query),
+            "estimate": response.estimate,
+            "tier": response.source,
+            "latency": response.latency,
+            "true_count": entry.true_count,
+            "warnings": list(response.warnings),
+        })
         if entry.true_count:
             error_sum += (
                 abs(response.estimate - entry.true_count) / entry.true_count
             )
             errored += 1
+    # Refresh the breaker gauges, then report the states the registry holds
+    # (the same series `repro metrics` exports).
+    service.breaker_states("default")
+    breakers = _breakers_from_registry(registry, "default")
     count = len(load.queries)
     print(f"served {count} queries over {source}")
     for tier in ("twig", "path", "cst", "uniform"):
@@ -256,10 +339,62 @@ def cmd_serve_eval(args) -> int:
           f"warnings: {warnings}")
     if errored:
         print(f"avg rel error: {error_sum / errored * 100:.1f}%")
+    for index, record in enumerate(requests):
+        for warning in record["warnings"]:
+            print(f"  warn q{index} [{record['tier']}]: {warning}")
     print("breakers:", " ".join(
-        f"{tier}={state}"
-        for tier, state in service.breaker_states("default").items()
+        f"{tier}={state}" for tier, state in breakers.items()
     ))
+    if sink is not None:
+        sink.close()
+        print(f"trace: {sink.written} spans -> {args.trace}")
+    if args.metrics_json:
+        payload = {
+            "schema": SERVE_EVAL_SCHEMA,
+            "source": source,
+            "queries": count,
+            "requests": requests,
+            "breakers": breakers,
+            "metrics": registry.snapshot(),
+        }
+        write_export(json.dumps(payload, indent=2), args.metrics_json)
+        if args.metrics_json != "-":
+            print(f"metrics: {args.metrics_json}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Exercise the pipeline end-to-end and export the metrics registry."""
+    if not args.file and not args.dataset:
+        args.dataset = "paperfig"
+    registry = default_registry()
+    tree = _load_tree(args)
+    result = XBuild(
+        tree,
+        budget_bytes=int(args.budget * 1024),
+        seed=args.seed,
+        metrics=registry,
+    ).run()
+    service = EstimatorService(metrics=registry)
+    service.register(
+        "default",
+        result.sketch,
+        baseline=CorrelatedSuffixTree.build(tree, int(args.budget * 1024)),
+    )
+    load = WorkloadGenerator(
+        tree, WorkloadSpec(seed=args.seed)
+    ).positive_workload(args.queries)
+    for entry in load.queries:
+        service.estimate("default", entry.query)
+    service.breaker_states("default")  # publish final breaker gauges
+    if args.format == "prometheus":
+        text = registry.render_prometheus()
+    else:
+        text = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+    write_export(text, args.out)
+    if args.out and args.out != "-":
+        print(f"wrote {args.format} metrics "
+              f"({len(load.queries)} queries served) to {args.out}")
     return 0
 
 
@@ -302,6 +437,8 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--resume", default=None, metavar="PATH",
                        help="resume an interrupted build from a "
                             "checkpoint file")
+    build.add_argument("--trace", default=None, metavar="FILE",
+                       help="stream build spans to FILE as JSONL")
     build.set_defaults(handler=cmd_build)
 
     estimate = commands.add_parser("estimate", help="estimate a twig query")
@@ -314,6 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "building one")
     estimate.add_argument("--exact", action="store_true",
                           help="also evaluate exactly and report the error")
+    estimate.add_argument("--explain", action="store_true",
+                          help="print the per-synopsis-node expansion "
+                               "trail behind the estimate")
     estimate.set_defaults(handler=cmd_estimate)
 
     workload = commands.add_parser("workload", help="generate a workload")
@@ -383,7 +523,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve_eval.add_argument("--no-validate", action="store_true",
                             help="skip invariant validation when "
                                  "registering the synopsis")
+    serve_eval.add_argument("--trace", default=None, metavar="FILE",
+                            help="stream build+serve spans to FILE as JSONL")
+    serve_eval.add_argument("--metrics-json", default=None, metavar="PATH",
+                            help="export a repro.obs/serve-eval-v1 JSON "
+                                 "envelope (per-request results, breaker "
+                                 "states, metrics snapshot); '-' = stdout")
     serve_eval.set_defaults(handler=cmd_serve_eval)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="exercise the pipeline and export the metrics registry",
+    )
+    metrics.add_argument("file", nargs="?", default=None,
+                         help="XML document (or use --dataset)")
+    metrics.add_argument("--dataset", choices=sorted(_DATASETS),
+                         default=None)
+    metrics.add_argument("--scale", type=int, default=2000)
+    metrics.add_argument("--seed", type=int, default=17)
+    metrics.add_argument("--lenient", action="store_true",
+                         help="recover a partial tree from malformed "
+                              "XML instead of failing")
+    metrics.add_argument("--budget", type=float, default=4.0, help="KB")
+    metrics.add_argument("--queries", type=int, default=12)
+    metrics.add_argument("--format", choices=("json", "prometheus"),
+                         default="json")
+    metrics.add_argument("--out", default="-", metavar="PATH",
+                         help="destination file; '-' = stdout (default)")
+    metrics.set_defaults(handler=cmd_metrics)
 
     return parser
 

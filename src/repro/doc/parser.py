@@ -37,6 +37,7 @@ import xml.parsers.expat as expat
 from typing import Optional, Union
 
 from ..errors import ParseError
+from ..obs.metrics import MetricsRegistry, default_registry
 from ..resilience.faults import SITE_PARSE, fault_check
 from .node import DocumentNode, Value
 from .tree import DocumentTree
@@ -80,6 +81,7 @@ class _Builder:
         self.stack: list = []
         self.root: Optional[DocumentNode] = None
         self.skip_depth = 0
+        self.elements = 0
         self.parser: Optional[expat.XMLParserType] = None
 
     # -- expat handlers -------------------------------------------------
@@ -99,6 +101,7 @@ class _Builder:
                 position=position,
             )
         node = DocumentNode(tag)
+        self.elements += 1
         if self.stack:
             parent = self.stack[-1]
             self._flush_text(parent)
@@ -164,6 +167,7 @@ def parse_string(
     mode: str = "strict",
     max_depth: Optional[int] = None,
     max_bytes: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> DocumentTree:
     """Parse an XML string into a frozen :class:`DocumentTree`.
 
@@ -173,12 +177,45 @@ def parse_string(
         mode: ``"strict"`` or ``"lenient"`` (see module docstring).
         max_depth: maximum element nesting; ``None`` = unlimited.
         max_bytes: maximum input size in bytes; ``None`` = unlimited.
+        metrics: registry the ingestion counters (documents by outcome,
+            bytes, elements) are recorded into (default: the
+            process-global registry).
 
     Raises:
         ParseError: strict mode — on any malformation or limit overrun;
             lenient mode — only when no root element is recoverable.
             ``position`` is the byte offset of the failure when known.
     """
+    registry = metrics if metrics is not None else default_registry()
+    outcomes = registry.counter(
+        "doc_parse_total",
+        "XML documents parsed, by mode and outcome",
+        ["mode", "outcome"],
+    )
+    try:
+        tree, elements, recovered = _parse_payload(
+            text, name, mode, max_depth, max_bytes, registry
+        )
+    except ParseError:
+        outcomes.inc(mode=str(mode), outcome="error")
+        raise
+    outcomes.inc(mode=mode, outcome="recovered" if recovered else "ok")
+    registry.counter(
+        "doc_parse_elements_total",
+        "document elements materialized by the parser",
+    ).inc(elements)
+    return tree
+
+
+def _parse_payload(
+    text: Union[str, bytes],
+    name: str,
+    mode: str,
+    max_depth: Optional[int],
+    max_bytes: Optional[int],
+    registry: MetricsRegistry,
+) -> tuple[DocumentTree, int, bool]:
+    """The parse itself; returns (tree, element count, lenient-recovered)."""
     fault_check(SITE_PARSE)
     if mode not in _MODES:
         raise ParseError(
@@ -188,6 +225,9 @@ def parse_string(
         )
     strict = mode == "strict"
     data = text.encode("utf8") if isinstance(text, str) else bytes(text)
+    registry.counter(
+        "doc_parse_bytes_total", "XML bytes ingested, by mode", ["mode"]
+    ).inc(len(data), mode=mode)
     if max_bytes is not None and len(data) > max_bytes:
         if strict:
             raise ParseError(
@@ -208,6 +248,7 @@ def parse_string(
     parser.EndElementHandler = builder.end
     parser.CharacterDataHandler = builder.data
     builder.parser = parser
+    recovered = False
     try:
         parser.Parse(data, True)
     except ParseError:
@@ -222,6 +263,7 @@ def parse_string(
                 position=position,
             ) from exc
         builder.close_open_frames()
+        recovered = True
     except RecursionError as exc:  # defensive: the builder is iterative
         raise ParseError(
             "document too deeply nested to parse",
@@ -235,7 +277,7 @@ def parse_string(
         raise ParseError(
             "no root element found", text=_snippet(data), position=0
         )
-    return DocumentTree(builder.root, name=name)
+    return DocumentTree(builder.root, name=name), builder.elements, recovered
 
 
 def parse_file(
@@ -245,6 +287,7 @@ def parse_file(
     mode: str = "strict",
     max_depth: Optional[int] = None,
     max_bytes: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> DocumentTree:
     """Parse the XML file at ``path``; ``name`` defaults to the file name.
 
@@ -265,6 +308,7 @@ def parse_file(
             mode=mode,
             max_depth=max_depth,
             max_bytes=max_bytes,
+            metrics=metrics,
         )
     except ParseError as exc:
         raise ParseError(

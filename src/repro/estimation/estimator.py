@@ -31,6 +31,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..histogram import ops
+from ..obs import explain as _explain
+from ..obs.explain import ExplainRecorder
+from ..obs.metrics import MetricsRegistry
 from ..query.ast import TwigQuery
 from ..synopsis.distributions import EdgeRef
 from ..synopsis.summary import TwigXSketch
@@ -87,6 +90,11 @@ class TwigEstimator:
         sketch: the synopsis to estimate over.
         max_depth: cap on ``//`` expansion length.
         max_embeddings: cap on enumerated embeddings per query.
+        metrics: optional registry for lookup counters — ``None`` (the
+            default) records nothing, keeping XBUILD's inner estimation
+            loop free of instrumentation cost.
+        explain: optional :class:`~repro.obs.explain.ExplainRecorder`
+            capturing the expansion trail and histogram lookups.
     """
 
     def __init__(
@@ -95,6 +103,9 @@ class TwigEstimator:
         max_depth: int = DEFAULT_MAX_DESCENDANT_DEPTH,
         max_embeddings: int = 4096,
         branch_conditioning: bool = True,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        explain: Optional[ExplainRecorder] = None,
     ):
         self.sketch = sketch
         self.max_depth = max_depth
@@ -102,6 +113,35 @@ class TwigEstimator:
         #: condition joint histograms on covered branch predicates instead
         #: of assuming branch/count independence (ablation E11)
         self.branch_conditioning = branch_conditioning
+        self._explain = explain
+        self._lookups = (
+            None
+            if metrics is None
+            else metrics.counter(
+                "estimator_lookups_total",
+                "estimator statistics lookups, by kind",
+                ["kind"],
+            )
+        )
+        self._estimates = (
+            None
+            if metrics is None
+            else metrics.counter(
+                "estimator_estimates_total",
+                "twig estimates computed",
+            )
+        )
+        self._embeddings_counter = (
+            None
+            if metrics is None
+            else metrics.counter(
+                "estimator_embeddings_total",
+                "embeddings contributing to estimates",
+            )
+        )
+
+    def _node_label(self, node_id: int) -> str:
+        return f"{self.sketch.graph.node(node_id).tag}#{node_id}"
 
     # ------------------------------------------------------------------
     # public API
@@ -116,7 +156,21 @@ class TwigEstimator:
         embeddings = enumerate_embeddings(
             query, self.sketch.graph, self.max_depth, budget
         )
+        if self._explain is not None:
+            self._explain.record(
+                _explain.KIND_QUERY,
+                query.text().replace("\n", " "),
+                f"{len(embeddings)} embeddings"
+                + (", truncated" if budget.truncated else ""),
+            )
         total = sum(self.estimate_embedding(e) for e in embeddings)
+        if self._estimates is not None:
+            self._estimates.inc()
+            self._embeddings_counter.inc(len(embeddings))
+        if self._explain is not None:
+            self._explain.record(
+                _explain.KIND_RESULT, "selectivity", value=total
+            )
         return EstimateReport(total, len(embeddings), budget.truncated)
 
     def estimate_embedding(self, embedding: Embedding) -> float:
@@ -126,7 +180,16 @@ class TwigEstimator:
         base = float(self.sketch.graph.node(root.node_id).count)
         needed = _needed_backward_refs(root, plans)
         memo: dict[tuple[int, Context], float] = {}
-        return base * self._expand(root, plans, (), needed, memo)
+        if self._explain is None:
+            return base * self._expand(root, plans, (), needed, memo)
+        frame = self._explain.enter(
+            _explain.KIND_EMBEDDING,
+            f"root {self._node_label(root.node_id)}",
+            f"|root| = {base:g}",
+        )
+        total = base * self._expand(root, plans, (), needed, memo)
+        self._explain.exit(frame, total)
+        return total
 
     # ------------------------------------------------------------------
     # the recursive expansion
@@ -146,8 +209,24 @@ class TwigEstimator:
         )
         key = (id(node), relevant)
         if key in memo:
+            if self._lookups is not None:
+                self._lookups.inc(kind="memo")
+            if self._explain is not None:
+                self._explain.record(
+                    _explain.KIND_MEMO,
+                    self._node_label(node.node_id),
+                    "cached subtree factor",
+                    memo[key],
+                )
             return memo[key]
 
+        frame = (
+            None
+            if self._explain is None
+            else self._explain.enter(
+                _explain.KIND_EXPAND, self._node_label(node.node_id)
+            )
+        )
         plan = plans[id(node)]
         result = self._local_factor(
             node,
@@ -169,6 +248,16 @@ class TwigEstimator:
                     self.sketch.edge_child_count(node.node_id, child.node_id),
                     self.sketch.graph.node(node.node_id).count,
                 )
+                if self._lookups is not None:
+                    self._lookups.inc(kind="uniform")
+                if self._explain is not None:
+                    self._explain.record(
+                        _explain.KIND_UNIFORM,
+                        f"edge {self._node_label(node.node_id)} -> "
+                        f"{self._node_label(child.node_id)}",
+                        "forward-uniformity avg child count",
+                        average,
+                    )
                 result *= average
                 if result == 0:
                     break
@@ -180,6 +269,8 @@ class TwigEstimator:
                     node, use, plans, context, needed, memo
                 )
         memo[key] = result
+        if frame is not None:
+            self._explain.exit(frame, result)
         return result
 
     def _histogram_factor(
@@ -256,6 +347,19 @@ class TwigEstimator:
                 if term == 0:
                     break
             total += term
+        if self._lookups is not None:
+            self._lookups.inc(kind="histogram")
+        if self._explain is not None:
+            scope = ",".join(
+                f"{ref.source}->{ref.target}" for ref in use.histogram.scope
+            )
+            self._explain.record(
+                _explain.KIND_HISTOGRAM,
+                f"H[{scope}] at {self._node_label(node.node_id)}",
+                f"{len(points)} points, {len(assignment)} conditioned, "
+                f"{len(use.expansion)} expanding dims",
+                total,
+            )
         return total
 
     # ------------------------------------------------------------------
@@ -278,6 +382,16 @@ class TwigEstimator:
         paper's value↔structure correlation in action.
         """
         match = use.summary.histogram.match_mass(use.predicate)
+        if self._lookups is not None:
+            self._lookups.inc(kind="extended")
+        if self._explain is not None:
+            self._explain.record(
+                _explain.KIND_EXTENDED,
+                f"extended value histogram at "
+                f"{self._node_label(node.node_id)}",
+                f"P(value pred) with {len(use.expansion)} expanding dims",
+                match,
+            )
         if match <= 0:
             return 0.0
         factor = match
@@ -334,9 +448,20 @@ class TwigEstimator:
         Elements without values (no value histogram stored) cannot match.
         """
         summary = self.sketch.value_summary(node_id)
-        if summary is None:
-            return 0.0
-        return summary.histogram.selectivity(predicate)
+        selectivity = (
+            0.0 if summary is None
+            else summary.histogram.selectivity(predicate)
+        )
+        if self._lookups is not None:
+            self._lookups.inc(kind="value")
+        if self._explain is not None:
+            self._explain.record(
+                _explain.KIND_VALUE,
+                f"value predicate at {self._node_label(node_id)}",
+                "no value histogram stored" if summary is None else "",
+                selectivity,
+            )
+        return selectivity
 
     # ------------------------------------------------------------------
     # branch predicates
@@ -350,6 +475,15 @@ class TwigEstimator:
             miss *= 1.0 - self._branch_chain(node_id, chain)
             if miss == 0:
                 break
+        if self._lookups is not None:
+            self._lookups.inc(kind="branch")
+        if self._explain is not None:
+            self._explain.record(
+                _explain.KIND_BRANCH,
+                f"branch at {self._node_label(node_id)}",
+                f"{len(alternatives)} alternative chain(s)",
+                1.0 - miss,
+            )
         return 1.0 - miss
 
     def _branch_chain(self, parent_id: int, chain: EmbeddingNode) -> float:

@@ -17,6 +17,11 @@ paths.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..obs import explain as _explain
+from ..obs.explain import ExplainRecorder
+from ..obs.metrics import MetricsRegistry
 from ..query.ast import Path, TwigNode, TwigQuery
 from ..synopsis.summary import TwigXSketch
 from .embeddings import DEFAULT_MAX_DESCENDANT_DEPTH, _chain_expansions, _embed_branch
@@ -25,16 +30,39 @@ from .estimator import TwigEstimator, _safe_ratio
 
 
 class PathEstimator:
-    """Estimates single-path result cardinalities over a Twig XSKETCH."""
+    """Estimates single-path result cardinalities over a Twig XSKETCH.
+
+    ``metrics`` and ``explain`` mirror :class:`TwigEstimator`: the
+    optional registry counts per-step statistics lookups
+    (``estimator_lookups_total{kind="path_step"}``), the optional
+    recorder captures the per-chain trail.
+    """
 
     def __init__(
-        self, sketch: TwigXSketch, max_depth: int = DEFAULT_MAX_DESCENDANT_DEPTH
+        self,
+        sketch: TwigXSketch,
+        max_depth: int = DEFAULT_MAX_DESCENDANT_DEPTH,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        explain: Optional[ExplainRecorder] = None,
     ):
         self.sketch = sketch
         self.max_depth = max_depth
+        self._explain = explain
+        self._lookups = (
+            None
+            if metrics is None
+            else metrics.counter(
+                "estimator_lookups_total",
+                "estimator statistics lookups, by kind",
+                ["kind"],
+            )
+        )
         # Branch probabilities and value selectivities are shared with the
         # twig estimator; reuse its implementation on the same sketch.
-        self._twig = TwigEstimator(sketch, max_depth)
+        self._twig = TwigEstimator(
+            sketch, max_depth, metrics=metrics, explain=explain
+        )
 
     def estimate(self, path: Path) -> float:
         """Estimated number of elements in the path's result set."""
@@ -43,6 +71,10 @@ class PathEstimator:
             self.sketch.graph, None, path, self.max_depth
         ):
             total += self._chain_estimate(chain)
+        if self._explain is not None:
+            self._explain.record(
+                _explain.KIND_RESULT, "path cardinality", value=total
+            )
         return total
 
     def estimate_query(self, query: TwigQuery) -> float:
@@ -65,6 +97,13 @@ class PathEstimator:
         graph = self.sketch.graph
         previous_id: int | None = None
         selected = 0.0
+        frame = (
+            None
+            if self._explain is None
+            else self._explain.enter(
+                _explain.KIND_EMBEDDING, f"chain of {len(chain)} step(s)"
+            )
+        )
         for node_id, step in chain:
             node_size = graph.node(node_id).count
             if previous_id is None:
@@ -72,6 +111,8 @@ class PathEstimator:
             else:
                 coverage = _safe_ratio(selected, graph.node(previous_id).count)
                 reached = self.sketch.edge_child_count(previous_id, node_id) * coverage
+            if self._lookups is not None:
+                self._lookups.inc(kind="path_step")
             if step.value_pred is not None:
                 reached *= self._twig.value_selectivity(node_id, step.value_pred)
             for branch in step.branches:
@@ -79,10 +120,21 @@ class PathEstimator:
                     graph, node_id, branch, self.max_depth, EmbeddingBudget()
                 )
                 if not alternatives:
-                    return 0.0
+                    reached = 0.0
+                    break
                 reached *= self._twig._branch_any(node_id, alternatives)
+            if self._explain is not None:
+                self._explain.record(
+                    _explain.KIND_STEP,
+                    f"{graph.node(node_id).tag}#{node_id}",
+                    "chain step",
+                    reached,
+                )
             if reached <= 0:
-                return 0.0
+                selected = 0.0
+                break
             selected = reached
             previous_id = node_id
+        if frame is not None:
+            self._explain.exit(frame, selected)
         return selected

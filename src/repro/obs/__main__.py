@@ -1,0 +1,48 @@
+"""Validate an exported metrics payload: ``python -m repro.obs FILE``.
+
+Reads a JSON export produced by ``repro metrics --format json`` or
+``repro serve-eval --metrics-json`` (``-`` reads stdin), dispatches on
+its ``schema`` field, and exits 0 when the payload is schema-valid,
+1 otherwise with one problem per line on stderr.  This is the CI smoke
+gate: any drift in the export shape fails the build here, not in a
+downstream dashboard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import validate_payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="validate an exported metrics JSON payload",
+    )
+    parser.add_argument(
+        "source", help="JSON export file to validate ('-' reads stdin)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.source == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.source, "r", encoding="utf8") as handle:
+                payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load {args.source}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_payload(payload)
+    for problem in problems:
+        print(f"invalid: {problem}", file=sys.stderr)
+    if not problems:
+        schema = payload.get("schema", "?")
+        print(f"{args.source}: valid {schema} payload")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

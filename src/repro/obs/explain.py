@@ -1,0 +1,139 @@
+"""Estimate-explain: record *why* an estimate came out the way it did.
+
+The twig estimator's answer is a sum over embeddings of products of
+histogram factors, uniformity fallbacks, value selectivities, and branch
+probabilities — when a number looks wrong, the question is always *which
+factor* collapsed it.  An :class:`ExplainRecorder` passed to
+:class:`~repro.estimation.estimator.TwigEstimator` (or
+:class:`~repro.estimation.path_estimator.PathEstimator`, or
+:meth:`~repro.serve.EstimatorService.estimate`) captures:
+
+* the per-synopsis-node **expansion trail** — every ``_expand`` frame
+  with the synopsis node it visited and the sub-factor it returned,
+  nested exactly like the recursion (memoization hits are marked, not
+  re-expanded);
+* every **histogram lookup** — which stored distribution was consulted,
+  how many points survived marginalization/conditioning, and the factor
+  it contributed;
+* the uniformity fallbacks, value-predicate selectivities, and branch
+  probabilities multiplied in along the way;
+* for service requests, the **tier chosen** and every tier attempt
+  before it.
+
+:func:`render_explanation` turns the trail into indented human-readable
+text (the ``repro estimate --explain`` output).
+
+The recorder is deliberately dumb — an append-only event list with a
+depth counter — so the estimator's hook cost is one ``if`` plus one
+``list.append`` per recorded event, and only when a recorder was passed
+at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: event kinds, in rough order of appearance in a trail
+KIND_QUERY = "query"
+KIND_TIER = "tier"
+KIND_EMBEDDING = "embedding"
+KIND_EXPAND = "expand"
+KIND_MEMO = "memo"
+KIND_HISTOGRAM = "histogram"
+KIND_EXTENDED = "extended"
+KIND_UNIFORM = "uniform"
+KIND_VALUE = "value"
+KIND_BRANCH = "branch"
+KIND_STEP = "step"
+KIND_RESULT = "result"
+
+
+@dataclass
+class ExplainEvent:
+    """One recorded fact: what happened, where, and the factor it added.
+
+    Attributes:
+        kind: one of the ``KIND_*`` constants.
+        depth: nesting depth at record time (drives rendering indent).
+        label: the subject — a synopsis node (``tag#id``), a histogram
+            scope, a tier name.
+        detail: free-form context (points surviving, conditioning refs,
+            failure text).
+        value: the numeric contribution, when one exists.
+    """
+
+    kind: str
+    depth: int
+    label: str
+    detail: str = ""
+    value: Optional[float] = None
+
+
+class ExplainRecorder:
+    """Append-only trail of :class:`ExplainEvent` with nesting depth."""
+
+    def __init__(self):
+        self.events: list[ExplainEvent] = []
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        label: str,
+        detail: str = "",
+        value: Optional[float] = None,
+    ) -> ExplainEvent:
+        event = ExplainEvent(kind, self._depth, label, detail, value)
+        self.events.append(event)
+        return event
+
+    def enter(
+        self, kind: str, label: str, detail: str = ""
+    ) -> ExplainEvent:
+        """Record an event and deepen nesting until :meth:`exit`."""
+        event = self.record(kind, label, detail)
+        self._depth += 1
+        return event
+
+    def exit(self, event: ExplainEvent, value: Optional[float] = None) -> None:
+        """Close an :meth:`enter` frame, attaching its resulting value."""
+        self._depth = max(0, self._depth - 1)
+        if value is not None:
+            event.value = value
+
+    # ------------------------------------------------------------------
+    def embedding_total(self) -> float:
+        """Sum of the recorded per-embedding contributions.
+
+        By construction this equals the estimate the recorded run
+        returned — the consistency check ``--explain`` is tested on.
+        """
+        return sum(
+            event.value or 0.0
+            for event in self.events
+            if event.kind == KIND_EMBEDDING
+        )
+
+    def by_kind(self, kind: str) -> list[ExplainEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return ""
+    return f" = {value:.6g}"
+
+
+def render_explanation(recorder: ExplainRecorder) -> str:
+    """The trail as indented human-readable text, one event per line."""
+    lines = []
+    for event in recorder.events:
+        indent = "  " * event.depth
+        detail = f" ({event.detail})" if event.detail else ""
+        lines.append(
+            f"{indent}{event.kind}: {event.label}{detail}"
+            f"{_format_value(event.value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Span tracing for the long-running paths (build, estimate, serve).
+
+A **span** is one timed region of work with a name, attributes, and a
+parent — nesting follows the call structure, tracked per thread.  The
+API is a context manager::
+
+    with tracer.span("xbuild.round", round=7) as span:
+        ...
+        span.annotate(applied="hsplit", gain=0.12)
+
+Design constraints (this rides on hot paths):
+
+* **no-op by default** — the module-level :data:`NULL_TRACER` answers
+  ``span()`` with a shared inert object, so an un-instrumented run pays
+  one attribute check and one ``if`` per call site;
+* **monotonic clocks** — durations come from ``time.perf_counter``,
+  immune to wall-clock steps; the absolute wall time of the tracer's
+  epoch is recorded once so sinks can reconstruct timestamps;
+* **bounded memory** — finished spans are kept in a ring of at most
+  ``max_kept`` (newest win) for in-process inspection; a
+  :class:`JsonlSink` streams every span to disk regardless.
+
+The JSONL record per span::
+
+    {"name": ..., "span_id": 3, "parent_id": 1, "thread": ...,
+     "start": 0.0123, "duration": 0.0017, "attrs": {...}}
+
+``start`` is seconds since the tracer's epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced region."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    thread: int
+    start: float
+    duration: Optional[float] = None
+    attrs: dict = field(default_factory=dict)
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the span (last write per key wins)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """The shared inert span of a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def annotate(self, **attrs) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens/closes one real span."""
+
+    __slots__ = ("_tracer", "_span", "_name", "_attrs")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._span = None
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return None
+
+
+class JsonlSink:
+    """Stream finished spans to a JSON-lines file.
+
+    The file is opened lazily on the first span and closed by
+    :meth:`close` (the tracer's ``close()``/``__exit__`` calls it).
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        self.written = 0
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf8")
+            self._handle.write(line + "\n")
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class SpanTracer:
+    """Factory and collector of spans.
+
+    Args:
+        sink: where finished spans go — a :class:`JsonlSink`, a path
+            (wrapped in one), or None (in-memory ring only).
+        enabled: a disabled tracer's ``span()`` returns a shared no-op.
+        max_kept: size of the in-memory ring of finished spans.
+        clock: monotonic time source (override in tests).
+    """
+
+    def __init__(
+        self,
+        sink: Union[None, str, JsonlSink] = None,
+        *,
+        enabled: bool = True,
+        max_kept: int = 10_000,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if sink is not None and not isinstance(sink, JsonlSink):
+            sink = JsonlSink(sink)
+        self.sink = sink
+        self.enabled = enabled
+        self._clock = clock
+        self._epoch = clock()
+        #: wall-clock time of the epoch, for timestamp reconstruction
+        self.epoch_unix = time.time()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+        self.finished: deque[Span] = deque(maxlen=max_kept)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """A context manager timing one region; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, or None."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def close(self) -> None:
+        """Flush and close the sink (if any)."""
+        if self.sink is not None:
+            self.sink.close()
+
+    def __enter__(self) -> "SpanTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _open(self, name: str, attrs: dict) -> Span:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=stack[-1].span_id if stack else None,
+            thread=threading.get_ident(),
+            start=self._clock() - self._epoch,
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.duration = (self._clock() - self._epoch) - span.start
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # mis-nested exit: drop through it
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        self.finished.append(span)
+        if self.sink is not None:
+            self.sink.write(span.to_dict())
+
+
+#: the shared disabled tracer — instrumented code defaults to it, so an
+#: un-traced hot path pays exactly one ``if not self.enabled`` check.
+NULL_TRACER = SpanTracer(enabled=False)

@@ -55,11 +55,15 @@ from ..errors import (
     SynopsisIntegrityError,
 )
 from ..estimation import PathEstimator, TwigEstimator
+from ..obs import explain as _explain
+from ..obs.explain import ExplainRecorder
+from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.tracing import NULL_TRACER, SpanTracer
 from ..query.ast import Path, TwigQuery
 from ..resilience import Budget
 from ..synopsis import load_sketch, raise_on_violations, validate_sketch
 from ..synopsis.summary import TwigXSketch
-from .circuit import CircuitBreaker
+from .circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 
 TIER_TWIG = "twig"
 TIER_PATH = "path"
@@ -148,6 +152,12 @@ class EstimatorService:
         max_embeddings: embedding cap handed to the twig estimator —
             bounds per-request work even without a deadline.
         clock: monotonic time source (override in tests).
+        metrics: registry serving metrics are recorded into — request/
+            failure/degradation counters, per-tier latency histograms,
+            and live circuit-breaker state gauges (default: the
+            process-global registry).
+        tracer: span tracer wrapping each request and tier attempt
+            (default: the disabled no-op tracer).
     """
 
     def __init__(
@@ -158,6 +168,8 @@ class EstimatorService:
         uniform_prior: float = DEFAULT_UNIFORM_PRIOR,
         max_embeddings: int = 4096,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         if not math.isfinite(uniform_prior) or uniform_prior < 0:
             raise ServiceError(
@@ -171,6 +183,50 @@ class EstimatorService:
         self._clock = clock
         self._lock = threading.RLock()
         self._entries: dict[str, _Entry] = {}
+        registry = metrics if metrics is not None else default_registry()
+        self.metrics = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._requests = registry.counter(
+            "serve_requests_total",
+            "estimate requests answered, by sketch and answering tier",
+            ["sketch", "tier"],
+        )
+        self._tier_failures = registry.counter(
+            "serve_tier_failures_total",
+            "tier attempts that failed (breaker-charged)",
+            ["sketch", "tier"],
+        )
+        self._circuit_skips = registry.counter(
+            "serve_circuit_skips_total",
+            "tier attempts skipped because the circuit was open",
+            ["sketch", "tier"],
+        )
+        self._deadline_hits = registry.counter(
+            "serve_deadline_total",
+            "requests whose deadline expired before all tiers ran",
+            ["sketch"],
+        )
+        self._degraded_counter = registry.counter(
+            "serve_degraded_total",
+            "requests answered by a fallback tier (not twig)",
+            ["sketch"],
+        )
+        self._warnings_counter = registry.counter(
+            "serve_warnings_total",
+            "degradation warnings attached to responses",
+            ["sketch"],
+        )
+        self._latency = registry.histogram(
+            "serve_request_seconds",
+            "request latency, by sketch and answering tier",
+            ["sketch", "tier"],
+        )
+        self._breaker_gauge = registry.gauge(
+            "serve_breaker_state",
+            "circuit-breaker state per (sketch, tier); the current "
+            "state's series is 1, the other two 0",
+            ["sketch", "tier", "state"],
+        )
 
     # ------------------------------------------------------------------
     # registry
@@ -239,6 +295,9 @@ class EstimatorService:
                     f"(pass replace=True to overwrite)"
                 )
             self._entries[name] = entry
+        self._sync_breaker_gauges(
+            name, {tier: b.state for tier, b in entry.breakers.items()}
+        )
 
     def unregister(self, name: str) -> None:
         """Remove a registered sketch; unknown names raise."""
@@ -257,9 +316,29 @@ class EstimatorService:
         return self._entry(name).sketch
 
     def breaker_states(self, name: str) -> dict[str, str]:
-        """Current circuit state per tier (monitoring hook)."""
+        """Current circuit state per tier (monitoring hook).
+
+        Also refreshes the ``serve_breaker_state`` gauges, so polling
+        this (or the registry snapshot) always sees live states.
+        """
         entry = self._entry(name)
-        return {tier: b.state for tier, b in entry.breakers.items()}
+        states = {tier: b.state for tier, b in entry.breakers.items()}
+        self._sync_breaker_gauges(name, states)
+        return states
+
+    def _sync_breaker_gauges(
+        self, name: str, states: dict[str, str]
+    ) -> None:
+        """Mirror breaker states into the registry: current state 1,
+        the other two 0 (the Prometheus state-set idiom)."""
+        for tier, current in states.items():
+            for state in (CLOSED, OPEN, HALF_OPEN):
+                self._breaker_gauge.set(
+                    1.0 if state == current else 0.0,
+                    sketch=name,
+                    tier=tier,
+                    state=state,
+                )
 
     def _entry(self, name: str) -> _Entry:
         with self._lock:
@@ -280,6 +359,7 @@ class EstimatorService:
         query: TwigQuery,
         *,
         deadline: Optional[float] = None,
+        explain: Optional[ExplainRecorder] = None,
     ) -> EstimateResponse:
         """Estimate ``query`` over the sketch registered as ``name``.
 
@@ -290,6 +370,8 @@ class EstimatorService:
         Args:
             deadline: optional per-request wall-clock budget in seconds;
                 when exhausted, remaining tiers are skipped.
+            explain: optional recorder — captures every tier attempt and
+                the chosen tier's full estimation trail.
 
         Raises:
             ServiceError: unknown sketch name or invalid deadline.
@@ -299,6 +381,36 @@ class EstimatorService:
             raise ServiceError(
                 f"deadline must be positive, got {deadline!r}"
             )
+        with self.tracer.span("serve.request", sketch=name) as request_span:
+            response = self._estimate_cascade(
+                entry, name, query, deadline, explain
+            )
+            request_span.annotate(
+                tier=response.source,
+                estimate=response.estimate,
+                warnings=len(response.warnings),
+            )
+        self._requests.inc(sketch=name, tier=response.source)
+        self._latency.observe(
+            response.latency, sketch=name, tier=response.source
+        )
+        if response.degraded:
+            self._degraded_counter.inc(sketch=name)
+        if response.warnings:
+            self._warnings_counter.inc(len(response.warnings), sketch=name)
+        self._sync_breaker_gauges(
+            name, {tier: b.state for tier, b in entry.breakers.items()}
+        )
+        return response
+
+    def _estimate_cascade(
+        self,
+        entry: _Entry,
+        name: str,
+        query: TwigQuery,
+        deadline: Optional[float],
+        explain: Optional[ExplainRecorder],
+    ) -> EstimateResponse:
         budget = Budget(deadline=deadline, clock=self._clock)
         warnings: list[str] = []
         for tier in FALLBACK_TIERS:
@@ -307,26 +419,52 @@ class EstimatorService:
                     f"deadline of {deadline:g}s exhausted before the "
                     f"{tier} tier"
                 )
+                self._deadline_hits.inc(sketch=name)
+                if explain is not None:
+                    explain.record(
+                        _explain.KIND_TIER, tier, "skipped: deadline expired"
+                    )
                 break
             breaker = entry.breakers[tier]
             if not breaker.allow():
                 warnings.append(f"{tier} tier skipped: circuit open")
+                self._circuit_skips.inc(sketch=name, tier=tier)
+                if explain is not None:
+                    explain.record(
+                        _explain.KIND_TIER, tier, "skipped: circuit open"
+                    )
                 continue
             try:
-                value = self._run_tier(entry, tier, query, warnings)
-                value = self._accept(value, tier)
+                with self.tracer.span("serve.tier", sketch=name, tier=tier):
+                    value = self._run_tier(
+                        entry, tier, query, warnings, explain
+                    )
+                    value = self._accept(value, tier)
             except _TierUnavailable as skip:
                 # Configuration fact, not a failure: the breaker is not
                 # charged (an unavailable tier can never have opened it).
                 warnings.append(str(skip))
+                if explain is not None:
+                    explain.record(_explain.KIND_TIER, tier, str(skip))
                 continue
             except Exception as exc:  # service boundary: degrade, never raise
                 breaker.record_failure()
                 warnings.append(
                     f"{tier} tier failed: {type(exc).__name__}: {exc}"
                 )
+                self._tier_failures.inc(sketch=name, tier=tier)
+                if explain is not None:
+                    explain.record(
+                        _explain.KIND_TIER,
+                        tier,
+                        f"failed: {type(exc).__name__}",
+                    )
                 continue
             breaker.record_success()
+            if explain is not None:
+                explain.record(
+                    _explain.KIND_TIER, tier, "answered", value
+                )
             return EstimateResponse(
                 value, tier, name, budget.elapsed(), tuple(warnings)
             )
@@ -334,6 +472,13 @@ class EstimatorService:
             f"all estimation tiers degraded; serving the uniform prior "
             f"({self.uniform_prior:g})"
         )
+        if explain is not None:
+            explain.record(
+                _explain.KIND_TIER,
+                TIER_UNIFORM,
+                "terminal uniform prior",
+                self.uniform_prior,
+            )
         return EstimateResponse(
             self.uniform_prior,
             TIER_UNIFORM,
@@ -349,10 +494,14 @@ class EstimatorService:
         tier: str,
         query: TwigQuery,
         warnings: list[str],
+        explain: Optional[ExplainRecorder] = None,
     ) -> float:
         if tier == TIER_TWIG:
             return TwigEstimator(
-                entry.sketch, max_embeddings=self.max_embeddings
+                entry.sketch,
+                max_embeddings=self.max_embeddings,
+                metrics=self.metrics,
+                explain=explain,
             ).estimate(query)
         if tier == TIER_PATH:
             chain, collapsed = _primary_chain(query)
@@ -361,7 +510,9 @@ class EstimatorService:
                     "path tier collapsed branching siblings to the "
                     "primary chain"
                 )
-            return PathEstimator(entry.sketch).estimate(chain)
+            return PathEstimator(
+                entry.sketch, metrics=self.metrics, explain=explain
+            ).estimate(chain)
         if tier == TIER_CST:
             if entry.baseline is None:
                 raise _TierUnavailable(

@@ -151,3 +151,83 @@ class TestAnalyze:
     def test_analyze_missing_path_is_error(self, capsys):
         assert main(["analyze", "no-such-directory"]) == 2
         assert "no such path" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_estimate_explain_prints_trail(self, xml_file, capsys):
+        code = main([
+            "estimate", xml_file,
+            "--query", "for a in author, p in a/paper",
+            "--budget", "2", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- explain ---" in out
+        assert "query:" in out
+        assert "embedding:" in out
+
+    def test_build_trace_writes_jsonl(self, xml_file, tmp_path, capsys):
+        trace = tmp_path / "build.jsonl"
+        code = main([
+            "build", xml_file, "--budget", "2", "--trace", str(trace),
+        ])
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        spans = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert spans
+        assert {"xbuild.build", "xbuild.round"} <= {
+            span["name"] for span in spans
+        }
+
+    def test_metrics_command_exports_valid_json(self, tmp_path, capsys):
+        from repro.obs import validate_payload
+
+        out_path = tmp_path / "metrics.json"
+        code = main([
+            "metrics", "--dataset", "paperfig",
+            "--budget", "2", "--queries", "4",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert validate_payload(payload) == []
+        names = {metric["name"] for metric in payload["metrics"]}
+        assert {
+            "build_rounds_total",
+            "estimator_lookups_total",
+            "serve_request_seconds",
+            "serve_breaker_state",
+        } <= names
+
+    def test_metrics_command_prometheus_stdout(self, capsys):
+        code = main([
+            "metrics", "--dataset", "paperfig",
+            "--budget", "2", "--queries", "2",
+            "--format", "prometheus",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE build_rounds_total counter" in out
+        assert "serve_breaker_state{" in out
+
+    def test_serve_eval_metrics_json_envelope(self, tmp_path, capsys):
+        from repro.obs import validate_payload
+
+        out_path = tmp_path / "serve.json"
+        code = main([
+            "serve-eval", "--dataset", "paperfig",
+            "--budget", "2", "--queries", "4",
+            "--metrics-json", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "breakers:" in out and "twig=closed" in out
+        payload = json.loads(out_path.read_text())
+        assert validate_payload(payload) == []
+        assert len(payload["requests"]) == 4
+        for request in payload["requests"]:
+            assert request["tier"] in {"twig", "path", "cst", "uniform"}
+            assert isinstance(request["warnings"], list)
+        assert payload["breakers"]["twig"] == "closed"

@@ -258,6 +258,38 @@ class TestCircuitBreaker:
         assert breaker.state == CLOSED
         assert breaker.allow()
 
+    def test_half_open_single_probe_under_concurrency(self):
+        """Exactly one of N simultaneous callers wins the half-open probe."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 30.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(31.0)
+        assert breaker.state == HALF_OPEN
+        callers = 16
+        barrier = threading.Barrier(callers)
+        admitted = []
+
+        def caller():
+            barrier.wait()
+            admitted.append(breaker.allow())
+
+        threads = [threading.Thread(target=caller) for _ in range(callers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert admitted.count(True) == 1
+        # Probe failure re-opens for everyone; probe success closes.
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(31.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert all(breaker.allow() for _ in range(3))
+
     def test_probe_failure_reopens(self):
         clock = FakeClock()
         breaker = CircuitBreaker(1, 30.0, clock=clock)
