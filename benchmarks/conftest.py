@@ -25,10 +25,9 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import DEFAULT_CONFIG
-from repro.obs import default_registry
+from repro.obs import BENCH_SCHEMA, default_registry
 
 RESULTS_DIR = Path(__file__).parent / "results"
-BENCH_SCHEMA = "repro.obs/bench-v1"
 BENCH_FILE = "BENCH_twig.json"
 
 _reports: list[tuple[str, str]] = []

@@ -1,0 +1,257 @@
+"""E13 — parallel XBUILD and batched estimation (repro.parallel).
+
+Times the pipelines the parallel subsystem touches on the IMDb data set:
+
+* **build, truth caching** — XBUILD with its truth caches (the
+  build-level cross-round cache plus the oracle's own memo) against a
+  baseline with caching disabled, where every sampled query is an
+  exact-count traversal of the document every time it is drawn.  This
+  is the hardware-independent win the hit counters quantify.
+* **build, process pool** — serial vs ``workers=2`` candidate scoring,
+  with the bit-identity of the resulting synopsis re-checked on the
+  spot (the point of the deterministic pool is that parallelism never
+  changes the bytes).  The wall-clock effect depends on the host: with
+  a single usable core (``cpu_count`` is recorded in the data) the pool
+  is bounded overhead, not speedup.
+* **estimation** — per-query :meth:`TwigEstimator.estimate` vs
+  :meth:`estimate_many` on an all-distinct workload and on a
+  serving-style workload with repeated queries, where the shared plan
+  cache pays heavily.
+"""
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.build import XBuild
+from repro.estimation import TwigEstimator
+from repro.experiments import dataset, workload
+from repro.obs.metrics import MetricsRegistry
+from repro.synopsis import sketch_to_dict
+
+import pytest
+
+from conftest import run_recorded
+
+BUILD_BUDGET = 2 * 3072
+BUILD_WORKERS = 2
+REPEATS = 4
+
+
+class _UncachedBuild(XBuild):
+    """Cost model with truth caching off: every request walks the tree.
+
+    Overriding :meth:`_truths` bypasses the build-level cache and wipes
+    the oracle's memo before each batch; the chosen refinements are
+    unchanged (caching is semantically transparent), so the wall-clock
+    delta is exactly what truth caching buys.
+    """
+
+    def _truths(self, queries):
+        self.oracle._cache.clear()
+        return [self.oracle.true_count(query) for query in queries]
+
+
+@dataclass(frozen=True)
+class ParallelBench:
+    """Timings and integrity checks of one parallel-vs-serial run."""
+
+    dataset: str
+    cpu_count: int
+    build_uncached_seconds: float
+    build_serial_seconds: float
+    build_parallel_seconds: float
+    build_workers: int
+    cache_speedup: float
+    parallel_ratio: float
+    build_identical: bool
+    oracle_cache_hits: float
+    oracle_cache_misses: float
+    estimate_queries: int
+    estimate_serial_seconds: float
+    estimate_batched_seconds: float
+    batched_ratio: float
+    repeated_serial_seconds: float
+    repeated_batched_seconds: float
+    repeated_speedup: float
+    estimates_identical: bool
+
+
+def _timed(action):
+    start = time.perf_counter()
+    result = action()
+    return result, time.perf_counter() - start
+
+
+def run_parallel_bench(config) -> ParallelBench:
+    tree = dataset("imdb", config)
+    seed = config.build_seed
+
+    _, uncached_seconds = _timed(
+        lambda: _UncachedBuild(tree, BUILD_BUDGET, seed=seed).run()
+    )
+    serial_registry = MetricsRegistry()
+    serial, serial_seconds = _timed(
+        lambda: XBuild(
+            tree, BUILD_BUDGET, seed=seed, metrics=serial_registry
+        ).run()
+    )
+    parallel_registry = MetricsRegistry()
+    parallel, parallel_seconds = _timed(
+        lambda: XBuild(
+            tree,
+            BUILD_BUDGET,
+            seed=seed,
+            metrics=parallel_registry,
+            workers=BUILD_WORKERS,
+        ).run()
+    )
+    identical = sketch_to_dict(serial.sketch) == sketch_to_dict(
+        parallel.sketch
+    )
+    cache = parallel_registry.get("build_oracle_cache_total")
+
+    queries = [
+        entry.query for entry in workload("imdb", "P+V", config).queries
+    ]
+    estimator = TwigEstimator(serial.sketch)
+    per_query, per_query_seconds = _timed(
+        lambda: [estimator.estimate(query) for query in queries]
+    )
+    batched, batched_seconds = _timed(
+        lambda: TwigEstimator(serial.sketch).estimate_many(queries)
+    )
+
+    repeated = [query for query in queries for _ in range(REPEATS)]
+    rep_estimator = TwigEstimator(serial.sketch)
+    rep_serial, rep_serial_seconds = _timed(
+        lambda: [rep_estimator.estimate(query) for query in repeated]
+    )
+    rep_batched, rep_batched_seconds = _timed(
+        lambda: TwigEstimator(serial.sketch).estimate_many(repeated)
+    )
+
+    return ParallelBench(
+        dataset="imdb",
+        cpu_count=os.cpu_count() or 1,
+        build_uncached_seconds=uncached_seconds,
+        build_serial_seconds=serial_seconds,
+        build_parallel_seconds=parallel_seconds,
+        build_workers=BUILD_WORKERS,
+        cache_speedup=uncached_seconds / serial_seconds,
+        parallel_ratio=serial_seconds / parallel_seconds,
+        build_identical=identical,
+        oracle_cache_hits=cache.value(outcome="hit"),
+        oracle_cache_misses=cache.value(outcome="miss"),
+        estimate_queries=len(queries),
+        estimate_serial_seconds=per_query_seconds,
+        estimate_batched_seconds=batched_seconds,
+        batched_ratio=per_query_seconds / batched_seconds,
+        repeated_serial_seconds=rep_serial_seconds,
+        repeated_batched_seconds=rep_batched_seconds,
+        repeated_speedup=rep_serial_seconds / rep_batched_seconds,
+        estimates_identical=(
+            batched == per_query and rep_batched == rep_serial
+        ),
+    )
+
+
+def format_parallel_bench(bench: ParallelBench) -> str:
+    lines = [
+        f"parallel pipelines (imdb, {bench.cpu_count} cpu)",
+        f"{'pipeline':<30} {'baseline':>9} {'current':>9} {'speedup':>8}",
+        (
+            f"{'XBUILD truth caching':<30} "
+            f"{bench.build_uncached_seconds:>8.2f}s "
+            f"{bench.build_serial_seconds:>8.2f}s "
+            f"{bench.cache_speedup:>7.2f}x"
+        ),
+        (
+            f"{'XBUILD pool (workers=%d)' % bench.build_workers:<30} "
+            f"{bench.build_serial_seconds:>8.2f}s "
+            f"{bench.build_parallel_seconds:>8.2f}s "
+            f"{bench.parallel_ratio:>7.2f}x"
+        ),
+        (
+            f"{'estimate_many (distinct)':<30} "
+            f"{bench.estimate_serial_seconds:>8.2f}s "
+            f"{bench.estimate_batched_seconds:>8.2f}s "
+            f"{bench.batched_ratio:>7.2f}x"
+        ),
+        (
+            f"{'estimate_many (repeated x%d)' % REPEATS:<30} "
+            f"{bench.repeated_serial_seconds:>8.2f}s "
+            f"{bench.repeated_batched_seconds:>8.2f}s "
+            f"{bench.repeated_speedup:>7.2f}x"
+        ),
+        (
+            f"oracle cache: {bench.oracle_cache_hits:.0f} hits / "
+            f"{bench.oracle_cache_misses:.0f} misses; "
+            f"bit-identical: build={bench.build_identical} "
+            f"estimates={bench.estimates_identical}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def parallel_bench(experiment_config):
+    return run_recorded(
+        "parallel",
+        run_parallel_bench,
+        format_parallel_bench,
+        experiment_config,
+    )
+
+
+def test_parallel_build_bit_identical(parallel_bench):
+    """The tentpole contract: same synopsis bytes out of the pool."""
+    assert parallel_bench.build_identical
+
+
+def test_truth_cache_pays(parallel_bench):
+    """Truth caching skips real document traversals; the cached build
+    must beat the caching-disabled baseline and the cross-round cache
+    must be doing work (hits recorded)."""
+    assert parallel_bench.oracle_cache_hits > 0
+    assert parallel_bench.oracle_cache_misses > 0
+    assert parallel_bench.cache_speedup > 1.1
+
+
+def test_pool_overhead_bounded(parallel_bench):
+    """Process scoring never changes results, and its overhead stays
+    bounded even on a single-core host (where no speedup is possible)."""
+    assert parallel_bench.parallel_ratio > 0.3
+
+
+def test_batched_estimation_identical(parallel_bench):
+    """Shared plan/memo caches must not change a single estimate."""
+    assert parallel_bench.estimates_identical
+    # all-distinct queries: the unkeyed batch does strictly less work
+    # than the per-query loop, so it must stay within timing noise
+    assert parallel_bench.batched_ratio > 0.5
+
+
+def test_repeated_queries_accelerated(parallel_bench):
+    """Serving-style repetition is where the plan cache pays: every
+    repeat skips enumeration, planning, and expansion."""
+    assert parallel_bench.repeated_speedup > 1.3
+
+
+def test_benchmark_batched_estimate(
+    benchmark, parallel_bench, experiment_config
+):
+    """Steady-state latency of one batched-context estimate call."""
+    queries = [
+        entry.query
+        for entry in workload("imdb", "P+V", experiment_config).queries[:16]
+    ]
+    estimator = TwigEstimator(
+        XBuild(
+            dataset("imdb", experiment_config),
+            BUILD_BUDGET,
+            seed=experiment_config.build_seed,
+        ).run().sketch
+    )
+    results = benchmark(estimator.estimate_many, queries)
+    assert len(results) == len(queries)

@@ -3,8 +3,11 @@
 Commands:
 
 * ``stats FILE.xml`` — document characteristics (Table 1 columns);
-* ``build FILE.xml --budget KB [--out sketch-info]`` — run XBUILD and
-  report the constructed synopsis (node/edge/histogram inventory);
+* ``build [FILE.xml | --dataset NAME] --budget KB [--out sketch-info]``
+  — run XBUILD and report the constructed synopsis (node/edge/histogram
+  inventory); ``--workers N`` fans candidate scoring out over worker
+  processes (bit-identical result, see :mod:`repro.parallel`) and
+  ``--metrics-json PATH`` exports the build's metrics snapshot;
   resilience options: ``--deadline SECONDS`` truncates a long build to
   its best-so-far synopsis, ``--checkpoint PATH --checkpoint-every N``
   persist in-flight state, and ``--resume PATH`` continues an
@@ -23,8 +26,14 @@ Commands:
 * ``serve-eval`` — run a workload through the graceful-degradation
   :class:`~repro.serve.EstimatorService` and report per-tier counts,
   latency, per-request warnings, and final breaker states;
-  ``--metrics-json PATH`` additionally exports a machine-readable
-  ``repro.obs/serve-eval-v1`` envelope (``-`` = stdout);
+  ``--batch`` serves the workload through the shared-cache batch API
+  and ``--workers N`` routes requests through the queued
+  :class:`~repro.serve.ServePool`; ``--metrics-json PATH``
+  additionally exports a machine-readable ``repro.obs/serve-eval-v1``
+  envelope (``-`` = stdout);
+* ``trace-report FILE`` — aggregate a ``--trace`` JSONL file into
+  per-span-kind timings (count/total/self/mean/max) and the critical
+  path (``--json`` for machine-readable output);
 * ``metrics`` — exercise the full pipeline (parse → XBUILD → serve a
   workload) against the process-global metrics registry and export the
   resulting series as JSON or Prometheus text.
@@ -65,11 +74,14 @@ from .obs import (
     JsonlSink,
     SpanTracer,
     default_registry,
+    load_spans,
     render_explanation,
+    render_trace_report,
+    trace_report,
     write_export,
 )
 from .query import count_bindings, parse_for_clause, parse_path, twig
-from .serve import EstimatorService
+from .serve import EstimatorService, ServePool
 from .synopsis import (
     TwigXSketch,
     error_violations,
@@ -142,11 +154,14 @@ def cmd_stats(args) -> int:
 
 
 def cmd_build(args) -> int:
+    if not args.file and not args.dataset:
+        raise ReproError("build needs an XML file or --dataset")
     tree = _load_tree(args)
     checkpoint_every = args.checkpoint_every
     if args.checkpoint and checkpoint_every is None:
         checkpoint_every = 1
     tracer, sink = _open_tracer(args.trace)
+    registry = default_registry()
     result = XBuild(
         tree,
         budget_bytes=int(args.budget * 1024),
@@ -156,11 +171,14 @@ def cmd_build(args) -> int:
         checkpoint_every=checkpoint_every,
         checkpoint_path=args.checkpoint,
         resume_from=args.resume,
+        metrics=registry,
         tracer=tracer,
+        workers=args.workers,
     ).run()
     sketch = result.sketch
+    workers = f", {args.workers} workers" if args.workers > 1 else ""
     print(f"built {sketch.size_kb():.1f} KB synopsis "
-          f"({len(result.steps)} refinements)")
+          f"({len(result.steps)} refinements{workers})")
     if result.truncated:
         print(f"truncated: {result.reason} (best-so-far synopsis)")
     print(f"nodes: {sketch.graph.node_count}, edges: {sketch.graph.edge_count}")
@@ -176,6 +194,13 @@ def cmd_build(args) -> int:
     if sink is not None:
         sink.close()
         print(f"trace: {sink.written} spans -> {args.trace}")
+    if args.metrics_json:
+        write_export(
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True),
+            args.metrics_json,
+        )
+        if args.metrics_json != "-":
+            print(f"metrics: {args.metrics_json}")
     return 0
 
 
@@ -299,16 +324,36 @@ def cmd_serve_eval(args) -> int:
     )
     spec = WorkloadSpec(seed=args.seed)
     load = WorkloadGenerator(tree, spec).positive_workload(args.queries)
+    queries = [entry.query for entry in load.queries]
+    if args.workers > 1:
+        # route through the queued worker-pool front-end
+        with ServePool(service, workers=args.workers) as pool:
+            if args.batch:
+                responses = pool.submit_batch(
+                    "default", queries, deadline=args.deadline
+                ).result()
+            else:
+                futures = [
+                    pool.submit("default", q, deadline=args.deadline)
+                    for q in queries
+                ]
+                responses = [future.result() for future in futures]
+    elif args.batch:
+        responses = service.submit_batch(
+            "default", queries, deadline=args.deadline
+        )
+    else:
+        responses = [
+            service.estimate("default", q, deadline=args.deadline)
+            for q in queries
+        ]
     tiers: Counter = Counter()
     requests = []
     warnings = 0
     latency = 0.0
     error_sum = 0.0
     errored = 0
-    for entry in load.queries:
-        response = service.estimate(
-            "default", entry.query, deadline=args.deadline
-        )
+    for entry, response in zip(load.queries, responses):
         tiers[response.source] += 1
         warnings += len(response.warnings)
         latency += response.latency
@@ -360,6 +405,18 @@ def cmd_serve_eval(args) -> int:
         write_export(json.dumps(payload, indent=2), args.metrics_json)
         if args.metrics_json != "-":
             print(f"metrics: {args.metrics_json}")
+    return 0
+
+
+def cmd_trace_report(args) -> int:
+    """Aggregate a ``--trace`` JSONL file into a profiling summary."""
+    report = trace_report(load_spans(args.trace_file))
+    if not report.spans:
+        raise ReproError(f"{args.trace_file}: no finished spans")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_trace_report(report, top=args.top))
     return 0
 
 
@@ -420,8 +477,21 @@ def build_parser() -> argparse.ArgumentParser:
     stats.set_defaults(handler=cmd_stats)
 
     build = commands.add_parser("build", help="run XBUILD")
-    add_source(build)
+    build.add_argument("file", nargs="?", default=None,
+                       help="XML document (or use --dataset)")
+    build.add_argument("--dataset", choices=sorted(_DATASETS), default=None)
+    build.add_argument("--scale", type=int, default=4000)
+    build.add_argument("--lenient", action="store_true",
+                       help="recover a partial tree from malformed XML "
+                            "instead of failing")
+    build.add_argument("--seed", type=int, default=17)
     build.add_argument("--budget", type=float, default=16.0, help="KB")
+    build.add_argument("--workers", type=int, default=1,
+                       help="worker processes for candidate scoring "
+                            "(any value builds the identical synopsis)")
+    build.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="export the build's metrics snapshot as JSON; "
+                            "'-' = stdout")
     build.add_argument("--values", action="store_true",
                        help="tune for value-predicated workloads")
     build.add_argument("--out", help="save the synopsis as JSON")
@@ -517,6 +587,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "building one")
     serve_eval.add_argument("--deadline", type=float, default=None,
                             help="per-request wall-clock budget in seconds")
+    serve_eval.add_argument("--workers", type=int, default=1,
+                            help="serve through a queued worker pool of "
+                                 "N threads (see repro.serve.ServePool)")
+    serve_eval.add_argument("--batch", action="store_true",
+                            help="serve the workload through the batch "
+                                 "API (shared embedding-plan caches)")
     serve_eval.add_argument("--failure-threshold", type=int, default=5,
                             help="consecutive tier failures that open "
                                  "the circuit")
@@ -530,6 +606,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  "envelope (per-request results, breaker "
                                  "states, metrics snapshot); '-' = stdout")
     serve_eval.set_defaults(handler=cmd_serve_eval)
+
+    trace_rep = commands.add_parser(
+        "trace-report",
+        help="aggregate a --trace JSONL file into a profiling summary",
+    )
+    trace_rep.add_argument("trace_file",
+                           help="JSONL span file written by --trace")
+    trace_rep.add_argument("--top", type=int, default=0,
+                           help="show only the N hottest span kinds")
+    trace_rep.add_argument("--json", action="store_true",
+                           help="emit the report as JSON")
+    trace_rep.set_defaults(handler=cmd_trace_report)
 
     metrics = commands.add_parser(
         "metrics",

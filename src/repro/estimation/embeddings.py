@@ -88,16 +88,27 @@ class EmbeddingNode:
             yield from child.iter_subtree()
 
     def signature(self) -> tuple:
-        """Hashable structural identity (used to deduplicate embeddings)."""
-        return (
-            self.node_id,
-            self.value_pred,
-            tuple(
-                tuple(chain.signature() for chain in alternative)
-                for alternative in self.branches
-            ),
-            tuple(child.signature() for child in self.children),
-        )
+        """Hashable structural identity (used to deduplicate embeddings).
+
+        Cached on first call: embedding nodes are only mutated while
+        enumeration assembles them, and nothing asks for a signature
+        until a root is complete — afterwards every consumer (dedup,
+        batch-memo keys) sees the same frozen structure, and the cache
+        turns the ancestor-recomputes-descendants recursion linear.
+        """
+        sig = self.__dict__.get("_signature")
+        if sig is None:
+            sig = (
+                self.node_id,
+                self.value_pred,
+                tuple(
+                    tuple(chain.signature() for chain in alternative)
+                    for alternative in self.branches
+                ),
+                tuple(child.signature() for child in self.children),
+            )
+            self.__dict__["_signature"] = sig
+        return sig
 
 
 @dataclass(frozen=True)

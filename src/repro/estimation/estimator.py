@@ -68,6 +68,58 @@ def _safe_ratio(numerator: float, denominator: float) -> float:
     return ratio
 
 
+class BatchContext:
+    """Shared caches for a batch of estimates over one sketch.
+
+    Reused across :meth:`TwigEstimator.estimate_many` /
+    :meth:`TwigEstimator.report_many` calls (and across queries within
+    one call):
+
+    * ``plans`` — query text → prepared embeddings (enumeration +
+      TREEPARSE output), so repeated queries skip planning entirely;
+    * ``memo`` — (plan signature, relevant ancestor context) → subtree
+      factor.  The signature (:func:`_plan_keys`) captures the full
+      per-node plan — histogram identities, expansion/condition/branch
+      structure, predicates — so two embedding nodes with equal
+      signatures compute the same factor by construction, even across
+      different queries (common path suffixes share work);
+    * ``hits`` / ``misses`` — cross-embedding memo traffic, for the
+      batch counters.
+
+    ``keyed`` controls the memo's key scheme.  Keyed contexts (the
+    default for explicitly constructed ones) pay for computing plan
+    signatures up front, which only amortizes when plans get reused —
+    across calls (a serving worker's lifetime) or across structurally
+    overlapping queries.  :meth:`TwigEstimator.estimate_many` without an
+    explicit context uses an unkeyed one: node-identity memo keys, zero
+    signature overhead, and repeated query texts still share everything
+    through ``plans``.
+
+    A context is only valid for the :class:`TwigEstimator` (sketch +
+    settings) it was first used with; signatures embed histogram object
+    identities that do not transfer between sketches.
+    """
+
+    __slots__ = ("plans", "memo", "interned", "hits", "misses", "keyed")
+
+    def __init__(self, keyed: bool = True):
+        self.plans: dict[str, tuple[list, bool]] = {}
+        self.memo: dict[tuple, float] = {}
+        self.interned: dict[tuple, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.keyed = keyed
+
+    def intern(self, signature: tuple) -> int:
+        """Map a (large) plan signature to a small stable integer, so
+        memo keys hash in O(1) after the first sighting."""
+        key = self.interned.get(signature)
+        if key is None:
+            key = len(self.interned)
+            self.interned[signature] = key
+        return key
+
+
 @dataclass(frozen=True)
 class EstimateReport:
     """An estimate plus diagnostics.
@@ -114,6 +166,12 @@ class TwigEstimator:
         #: of assuming branch/count independence (ablation E11)
         self.branch_conditioning = branch_conditioning
         self._explain = explain
+        # per-instance caches over static synopsis facts (the sketch is
+        # immutable for the estimator's lifetime): node labels, average
+        # child counts, and positive-count probabilities per edge
+        self._label_cache: dict[int, str] = {}
+        self._average_cache: dict[tuple[int, int], float] = {}
+        self._positive_cache: dict[tuple[int, int], float] = {}
         self._lookups = (
             None
             if metrics is None
@@ -141,7 +199,23 @@ class TwigEstimator:
         )
 
     def _node_label(self, node_id: int) -> str:
-        return f"{self.sketch.graph.node(node_id).tag}#{node_id}"
+        label = self._label_cache.get(node_id)
+        if label is None:
+            label = f"{self.sketch.graph.node(node_id).tag}#{node_id}"
+            self._label_cache[node_id] = label
+        return label
+
+    def _average_child_count(self, parent_id: int, child_id: int) -> float:
+        """``|parent -> child| / |parent|``, cached (static per sketch)."""
+        key = (parent_id, child_id)
+        average = self._average_cache.get(key)
+        if average is None:
+            average = _safe_ratio(
+                self.sketch.edge_child_count(parent_id, child_id),
+                self.sketch.graph.node(parent_id).count,
+            )
+            self._average_cache[key] = average
+        return average
 
     # ------------------------------------------------------------------
     # public API
@@ -173,6 +247,79 @@ class TwigEstimator:
             )
         return EstimateReport(total, len(embeddings), budget.truncated)
 
+    def estimate_many(
+        self,
+        queries: Sequence[TwigQuery],
+        *,
+        context: Optional[BatchContext] = None,
+    ) -> list[float]:
+        """Batch estimation: one selectivity per query, in query order.
+
+        Values are bit-identical to per-query :meth:`estimate` — the
+        batch caches memoize pure functions of the query plan — but
+        queries sharing plans or subtree structure pay once.  Pass a
+        :class:`BatchContext` to carry the caches across calls (e.g. a
+        serving worker's lifetime).
+        """
+        return [
+            report.selectivity
+            for report in self.report_many(queries, context=context)
+        ]
+
+    def report_many(
+        self,
+        queries: Sequence[TwigQuery],
+        *,
+        context: Optional[BatchContext] = None,
+    ) -> list[EstimateReport]:
+        """Batch :meth:`report`; see :meth:`estimate_many`."""
+        if self._explain is not None:
+            # explain trails are per-query by contract; shared memo hits
+            # would hide lookups from the recording, so fall back
+            return [self.report(query) for query in queries]
+        if context is None:
+            # a private one-call context: skip the signature keying —
+            # it only pays off when plans outlive the call
+            context = BatchContext(keyed=False)
+        return [self._report_batched(query, context) for query in queries]
+
+    def _report_batched(
+        self, query: TwigQuery, context: BatchContext
+    ) -> EstimateReport:
+        key = query.text()
+        entry = context.plans.get(key)
+        if entry is None:
+            budget = EmbeddingBudget(self.max_embeddings)
+            embeddings = enumerate_embeddings(
+                query, self.sketch.graph, self.max_depth, budget
+            )
+            prepared = []
+            for embedding in embeddings:
+                plans = tree_parse(
+                    embedding, self.sketch, self.branch_conditioning
+                )
+                needed = _needed_backward_refs(embedding.root, plans)
+                keys = (
+                    _plan_keys(embedding.root, plans, context)
+                    if context.keyed
+                    else None
+                )
+                prepared.append((embedding.root, plans, needed, keys))
+            entry = (prepared, budget.truncated)
+            context.plans[key] = entry
+        prepared, truncated = entry
+        total = 0.0
+        for root, plans, needed, keys in prepared:
+            base = float(self.sketch.graph.node(root.node_id).count)
+            total += base * self._expand(
+                root, plans, (), needed, context.memo,
+                keys=keys, batch=context,
+            )
+        if self._estimates is not None:
+            self._estimates.inc()
+            self._embeddings_counter.inc(len(prepared))
+        return EstimateReport(total, len(prepared), truncated)
+
     def estimate_embedding(self, embedding: Embedding) -> float:
         """The selectivity of one embedding: ``|n_0| ·`` root expansion."""
         plans = tree_parse(embedding, self.sketch, self.branch_conditioning)
@@ -200,15 +347,24 @@ class TwigEstimator:
         plans: dict[int, NodePlan],
         context: Context,
         needed: dict[int, frozenset[EdgeRef]],
-        memo: dict[tuple[int, Context], float],
+        memo: dict[tuple, float],
+        keys: Optional[dict[int, int]] = None,
+        batch: Optional[BatchContext] = None,
     ) -> float:
         """Expected binding tuples of ``node``'s subtree per element of its
-        synopsis node, given the ancestor count assignment ``context``."""
+        synopsis node, given the ancestor count assignment ``context``.
+
+        ``keys`` (batch mode) substitutes plan-signature keys for node
+        identities, so the memo is shared across embeddings and queries;
+        ``batch`` tracks the shared-memo hit counters.
+        """
         relevant = tuple(
             item for item in context if item[0] in needed[id(node)]
         )
-        key = (id(node), relevant)
+        key = ((id(node) if keys is None else keys[id(node)]), relevant)
         if key in memo:
+            if batch is not None:
+                batch.hits += 1
             if self._lookups is not None:
                 self._lookups.inc(kind="memo")
             if self._explain is not None:
@@ -219,6 +375,8 @@ class TwigEstimator:
                     memo[key],
                 )
             return memo[key]
+        if batch is not None:
+            batch.misses += 1
 
         frame = (
             None
@@ -237,16 +395,15 @@ class TwigEstimator:
         if result > 0:
             for use in plan.extended_uses:
                 result *= self._extended_factor(
-                    node, use, plans, context, needed, memo
+                    node, use, plans, context, needed, memo, keys, batch
                 )
                 if result == 0:
                     break
         if result > 0 and (node.children or plan.uses):
             for child in plan.uncovered:
                 # Forward Uniformity: |n_i -> n_j| / |n_i| per element.
-                average = _safe_ratio(
-                    self.sketch.edge_child_count(node.node_id, child.node_id),
-                    self.sketch.graph.node(node.node_id).count,
+                average = self._average_child_count(
+                    node.node_id, child.node_id
                 )
                 if self._lookups is not None:
                     self._lookups.inc(kind="uniform")
@@ -261,12 +418,14 @@ class TwigEstimator:
                 result *= average
                 if result == 0:
                     break
-                result *= self._expand(child, plans, context, needed, memo)
+                result *= self._expand(
+                    child, plans, context, needed, memo, keys, batch
+                )
             for use in plan.uses:
                 if result == 0:
                     break
                 result *= self._histogram_factor(
-                    node, use, plans, context, needed, memo
+                    node, use, plans, context, needed, memo, keys, batch
                 )
         memo[key] = result
         if frame is not None:
@@ -280,7 +439,9 @@ class TwigEstimator:
         plans: dict[int, NodePlan],
         context: Context,
         needed: dict[int, frozenset[EdgeRef]],
-        memo: dict[tuple[int, Context], float],
+        memo: dict[tuple, float],
+        keys: Optional[dict[int, int]] = None,
+        batch: Optional[BatchContext] = None,
     ) -> float:
         """``Σ_points mass · Π_E (count · child expansion)`` conditioned on D.
 
@@ -340,7 +501,7 @@ class TwigEstimator:
                     )
                 for child in children:
                     term *= count * self._expand(
-                        child, plans, extended, needed, memo
+                        child, plans, extended, needed, memo, keys, batch
                     )
                     if term == 0:
                         break
@@ -373,6 +534,8 @@ class TwigEstimator:
         context: Context,
         needed,
         memo,
+        keys: Optional[dict[int, int]] = None,
+        batch: Optional[BatchContext] = None,
     ) -> float:
         """One extended-value-histogram factor:
 
@@ -407,7 +570,7 @@ class TwigEstimator:
                         break
                     for child in children:
                         term *= count * self._expand(
-                            child, plans, context, needed, memo
+                            child, plans, context, needed, memo, keys, batch
                         )
                         if term == 0:
                             break
@@ -499,10 +662,7 @@ class TwigEstimator:
         edge = graph.edge(parent_id, chain.node_id)
         if edge is None:
             return 0.0
-        mean_count = _safe_ratio(
-            self.sketch.edge_child_count(parent_id, chain.node_id),
-            graph.node(parent_id).count,
-        )
+        mean_count = self._average_child_count(parent_id, chain.node_id)
         probability_positive = self._positive_probability(
             parent_id, chain.node_id, edge, mean_count
         )
@@ -533,14 +693,24 @@ class TwigEstimator:
         F-stable edge → 1; a stored histogram covering the edge → mass of
         positive counts; otherwise ``min(1, mean count)`` (uniformity).
         """
+        cached = self._positive_cache.get((parent_id, child_id))
+        if cached is not None:
+            return cached
         if edge.forward_stable:
-            return 1.0
-        ref = EdgeRef(parent_id, child_id)
-        for histogram in self.sketch.histograms_at(parent_id):
-            dim = histogram.index_of(ref)
-            if dim is not None:
-                return ops.mass_where_positive(histogram.points(), dim)
-        return min(1.0, mean_count)
+            probability = 1.0
+        else:
+            ref = EdgeRef(parent_id, child_id)
+            for histogram in self.sketch.histograms_at(parent_id):
+                dim = histogram.index_of(ref)
+                if dim is not None:
+                    probability = ops.mass_where_positive(
+                        histogram.points(), dim
+                    )
+                    break
+            else:
+                probability = min(1.0, mean_count)
+        self._positive_cache[(parent_id, child_id)] = probability
+        return probability
 
 
 def _needed_backward_refs(
@@ -566,3 +736,77 @@ def _needed_backward_refs(
 
     visit(root)
     return needed
+
+
+def _plan_keys(
+    root: EmbeddingNode, plans: dict[int, NodePlan], context: BatchContext
+) -> dict[int, int]:
+    """Interned plan signatures for every embedding node, keyed by id.
+
+    The signature is a pure function of everything
+    :meth:`TwigEstimator._expand` reads for the node's subtree — the
+    synopsis node, value/branch predicates, absorption flags, child
+    order, and each histogram use's identity, expansion, conditioning,
+    and branch-conditioning structure (child participation enters as the
+    children's own interned keys, computed bottom-up).  Two nodes with
+    equal keys therefore produce bit-identical subtree factors for equal
+    relevant contexts, which is what lets the batch memo be shared
+    across embeddings and queries.
+
+    Signatures embed histogram/summary *object identities*, so keys are
+    only comparable within one sketch (one :class:`BatchContext`).
+    """
+    keys: dict[int, int] = {}
+
+    def visit(node: EmbeddingNode) -> int:
+        for child in node.children:
+            visit(child)
+        plan = plans[id(node)]
+        use_sigs = tuple(
+            (
+                id(use.histogram),
+                tuple(
+                    (dim, tuple(keys[id(child)] for child in children))
+                    for dim, children in use.expansion.items()
+                ),
+                tuple(use.conditions.items()),
+                tuple(
+                    (dim, chain.signature())
+                    for dim, chain in use.branch_conditions.items()
+                ),
+            )
+            for use in plan.uses
+        )
+        ext_sigs = tuple(
+            (
+                id(use.summary),
+                use.predicate,
+                tuple(
+                    (dim, tuple(keys[id(child)] for child in children))
+                    for dim, children in use.expansion.items()
+                ),
+                use.absorbed_branch,
+                use.consumed_value_pred,
+            )
+            for use in plan.extended_uses
+        )
+        signature = (
+            node.node_id,
+            node.value_pred,
+            plan.value_pred_absorbed,
+            tuple(sorted(plan.absorbed_branches)),
+            tuple(
+                tuple(chain.signature() for chain in alternative)
+                for alternative in node.branches
+            ),
+            tuple(keys[id(child)] for child in plan.uncovered),
+            bool(node.children),
+            use_sigs,
+            ext_sigs,
+        )
+        key = context.intern(signature)
+        keys[id(node)] = key
+        return key
+
+    visit(root)
+    return keys

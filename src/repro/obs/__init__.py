@@ -16,16 +16,22 @@ reports through:
   expansion trails, histogram lookups, and the serving tier chosen
   (``repro estimate --explain``);
 * :mod:`repro.obs.export` — exposition formats and the export-schema
-  validators behind ``python -m repro.obs`` (the CI smoke gate).
+  validators (metrics, serve-eval, and benchmark envelopes) behind
+  ``python -m repro.obs`` (the CI smoke gate);
+* :mod:`repro.obs.trace_report` — ``repro trace-report``: aggregate a
+  ``--trace`` JSONL file into per-span-kind timings and the critical
+  path.
 
 See README.md "Observability" and DESIGN.md S24.
 """
 
 from .explain import ExplainEvent, ExplainRecorder, render_explanation
 from .export import (
+    BENCH_SCHEMA,
     SERVE_EVAL_SCHEMA,
     load_payload,
     render_prometheus,
+    validate_bench_payload,
     validate_metrics_payload,
     validate_payload,
     validate_serve_eval_payload,
@@ -42,9 +48,17 @@ from .metrics import (
     default_registry,
     reset_default_registry,
 )
+from .trace_report import (
+    KindStats,
+    TraceReport,
+    load_spans,
+    render_trace_report,
+    trace_report,
+)
 from .tracing import NULL_TRACER, JsonlSink, Span, SpanTracer
 
 __all__ = [
+    "BENCH_SCHEMA",
     "Counter",
     "DEFAULT_BUCKETS",
     "ExplainEvent",
@@ -52,6 +66,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "KindStats",
     "METRICS_SCHEMA",
     "MetricsError",
     "MetricsRegistry",
@@ -59,11 +74,16 @@ __all__ = [
     "SERVE_EVAL_SCHEMA",
     "Span",
     "SpanTracer",
+    "TraceReport",
     "default_registry",
     "load_payload",
+    "load_spans",
     "render_explanation",
     "render_prometheus",
+    "render_trace_report",
     "reset_default_registry",
+    "trace_report",
+    "validate_bench_payload",
     "validate_metrics_payload",
     "validate_payload",
     "validate_serve_eval_payload",

@@ -1,0 +1,217 @@
+"""Aggregate a span-trace JSONL file into a profiling summary.
+
+``repro build --trace FILE`` and ``repro serve-eval --trace FILE``
+stream one JSON object per finished span (see
+:class:`~repro.obs.tracing.JsonlSink`).  This module turns that stream
+into the two views a profiling session actually needs:
+
+* **per-kind statistics** — spans grouped by name, with count, total
+  and **self time** (total minus the time spent in direct children, the
+  number that says where the clock actually went), mean, and max;
+* the **critical path** — starting from the longest root span, the
+  chain of longest children all the way down.  Work off that chain is
+  overlapped or minor; speeding anything on it up moves the end-to-end
+  wall clock.
+
+``repro trace-report FILE`` renders both (``--json`` for the
+machine-readable form).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = [
+    "KindStats",
+    "TraceReport",
+    "load_spans",
+    "render_trace_report",
+    "trace_report",
+]
+
+
+@dataclass(frozen=True)
+class KindStats:
+    """Aggregated timings for one span name."""
+
+    name: str
+    count: int
+    total: float
+    self_time: float
+    mean: float
+    max: float
+
+
+@dataclass(frozen=True)
+class PathEntry:
+    """One hop of the critical path."""
+
+    name: str
+    span_id: int
+    duration: float
+    self_time: float
+    depth: int
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """The aggregation of one trace file.
+
+    Attributes:
+        spans: finished spans read (unfinished ones are dropped).
+        wall: duration of the longest root span — the trace's
+            end-to-end wall clock.
+        kinds: per-name statistics, longest self time first.
+        critical_path: longest-child chain from the longest root.
+    """
+
+    spans: int
+    wall: float
+    kinds: tuple[KindStats, ...]
+    critical_path: tuple[PathEntry, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "spans": self.spans,
+            "wall": self.wall,
+            "kinds": [vars(kind) | {} for kind in self.kinds],
+            "critical_path": [vars(hop) | {} for hop in self.critical_path],
+        }
+
+
+def load_spans(path: str) -> list[dict]:
+    """Read a ``--trace`` JSONL file; raises :class:`ReproError` on junk."""
+    spans = []
+    try:
+        with open(path, "r", encoding="utf8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"{path}:{number}: not a JSON span record: {exc}"
+                    ) from None
+                if not isinstance(record, dict) or "name" not in record:
+                    raise ReproError(
+                        f"{path}:{number}: span records need a 'name' field"
+                    )
+                spans.append(record)
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file: {exc}") from exc
+    return spans
+
+
+def trace_report(spans: list[dict]) -> TraceReport:
+    """Aggregate span records (see module docstring for the two views)."""
+    finished = [
+        span
+        for span in spans
+        if isinstance(span.get("duration"), (int, float))
+    ]
+    children: dict = {}
+    for span in finished:
+        children.setdefault(span.get("parent_id"), []).append(span)
+
+    # self time = duration minus time attributed to direct children
+    totals: dict[str, list[float]] = {}
+    selfs: dict[str, float] = {}
+    self_of: dict[int, float] = {}
+    for span in finished:
+        name = span["name"]
+        duration = float(span["duration"])
+        child_time = sum(
+            float(child["duration"])
+            for child in children.get(span.get("span_id"), [])
+        )
+        own = max(0.0, duration - child_time)
+        totals.setdefault(name, []).append(duration)
+        selfs[name] = selfs.get(name, 0.0) + own
+        self_of[span.get("span_id")] = own
+
+    kinds = tuple(
+        sorted(
+            (
+                KindStats(
+                    name=name,
+                    count=len(durations),
+                    total=sum(durations),
+                    self_time=selfs[name],
+                    mean=sum(durations) / len(durations),
+                    max=max(durations),
+                )
+                for name, durations in totals.items()
+            ),
+            key=lambda kind: (-kind.self_time, kind.name),
+        )
+    )
+
+    roots = children.get(None, [])
+    path: list[PathEntry] = []
+    if roots:
+        current = max(roots, key=lambda span: float(span["duration"]))
+        depth = 0
+        while current is not None:
+            path.append(
+                PathEntry(
+                    name=current["name"],
+                    span_id=current.get("span_id"),
+                    duration=float(current["duration"]),
+                    self_time=self_of.get(current.get("span_id"), 0.0),
+                    depth=depth,
+                )
+            )
+            depth += 1
+            below = children.get(current.get("span_id"), [])
+            current = (
+                max(below, key=lambda span: float(span["duration"]))
+                if below
+                else None
+            )
+    wall = path[0].duration if path else 0.0
+    return TraceReport(
+        spans=len(finished),
+        wall=wall,
+        kinds=kinds,
+        critical_path=tuple(path),
+    )
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}ms"
+
+
+def render_trace_report(report: TraceReport, top: int = 0) -> str:
+    """Human-readable report; ``top`` limits the per-kind rows (0 = all)."""
+    lines = [
+        f"{report.spans} spans, wall {_ms(report.wall)}",
+        "",
+        f"{'span':<24} {'count':>6} {'total':>10} {'self':>10} "
+        f"{'mean':>9} {'max':>9}",
+    ]
+    kinds = report.kinds[:top] if top else report.kinds
+    for kind in kinds:
+        lines.append(
+            f"{kind.name:<24} {kind.count:>6} {_ms(kind.total):>10} "
+            f"{_ms(kind.self_time):>10} {_ms(kind.mean):>9} "
+            f"{_ms(kind.max):>9}"
+        )
+    if top and len(report.kinds) > top:
+        lines.append(f"... {len(report.kinds) - top} more span kind(s)")
+    lines.append("")
+    lines.append("critical path (longest child at every level):")
+    for hop in report.critical_path:
+        share = hop.duration / report.wall * 100 if report.wall else 0.0
+        lines.append(
+            f"  {'  ' * hop.depth}{hop.name}  "
+            f"{_ms(hop.duration)} ({share:.0f}% of wall, "
+            f"self {_ms(hop.self_time)})"
+        )
+    if not report.critical_path:
+        lines.append("  (no finished root span)")
+    return "\n".join(lines)

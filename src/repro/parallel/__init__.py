@@ -1,0 +1,38 @@
+"""Deterministic parallel execution (process pool + replicas).
+
+The scale-out layer behind XBUILD candidate scoring and batched
+estimation:
+
+* :class:`WorkerPool` — N long-lived worker processes with per-worker
+  replica states, lockstep broadcasts, chunked task dispatch
+  (:func:`split_chunks`), and order-stable result merging;
+  ``workers <= 1`` runs inline with identical semantics;
+* :class:`BuildReplica` / :class:`EstimateReplica` — the two replica
+  states: an XBUILD scoring replica (tree copy + trail-replayed
+  synopsis, advanced by broadcast each round) and a frozen-synopsis
+  estimation replica with worker-lifetime batch caches;
+* :func:`parallel_estimate_many` — batch twig estimation across a
+  pool, bit-identical to per-query estimates.
+
+Failures surface as :class:`~repro.errors.ParallelError` carrying the
+worker-side traceback.  See README.md "Performance" and DESIGN.md S25.
+"""
+
+from .pool import WorkerPool, split_chunks
+from .replica import (
+    BuildReplica,
+    EstimateReplica,
+    build_replica_factory,
+    estimate_replica_factory,
+    parallel_estimate_many,
+)
+
+__all__ = [
+    "BuildReplica",
+    "EstimateReplica",
+    "WorkerPool",
+    "build_replica_factory",
+    "estimate_replica_factory",
+    "parallel_estimate_many",
+    "split_chunks",
+]

@@ -1,0 +1,274 @@
+"""A deterministic process-pool execution layer.
+
+:class:`WorkerPool` runs N long-lived worker processes, each holding a
+private *replica state* built once by a bootstrap factory (a picklable
+module-level callable).  The master drives the workers in lockstep
+phases, which is what makes the pool usable for bit-deterministic
+workloads like XBUILD candidate scoring:
+
+* **chunked task dispatch** — :meth:`run` splits an indexed task list
+  into contiguous per-worker chunks (:func:`split_chunks`) and
+  :meth:`run_chunks` lets the caller pin tasks to specific workers
+  (sticky assignment, e.g. "score the candidate on the worker that
+  already holds its refined sketch");
+* **order-stable merging** — every task carries its global index and
+  results are reassembled in index order, so the merged output is
+  independent of worker scheduling;
+* **synchronous broadcasts** — :meth:`broadcast` delivers one state
+  update to every worker and waits for all acknowledgements, so the
+  next phase always sees every replica at the same version.
+
+``workers <= 1`` runs everything **inline** — the state lives in the
+master process and methods are called directly, with identical
+semantics and zero process overhead.  This is both the serial fallback
+and the reference behaviour the determinism tests compare against.
+
+Failure surface: any worker-side exception (bootstrap or task) is
+re-raised in the master as :class:`~repro.errors.ParallelError`
+carrying the remote traceback; the pool is unusable afterwards and
+:meth:`close` tears the processes down.
+
+Messages travel over ``multiprocessing`` queues and are pickled; task
+payloads and the bootstrap payload must therefore be picklable.  The
+start method defaults to ``fork`` where available (cheap, inherits the
+parent's imports) and falls back to ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Callable, Optional, Sequence
+
+from ..errors import ParallelError
+
+__all__ = ["WorkerPool", "split_chunks"]
+
+#: seconds to wait for a worker to exit cleanly before terminating it
+_JOIN_TIMEOUT = 5.0
+
+
+def split_chunks(count: int, parts: int) -> list[range]:
+    """Split ``range(count)`` into ``parts`` contiguous, balanced ranges.
+
+    The first ``count % parts`` chunks get one extra element; empty
+    chunks (when ``count < parts``) stay empty.  The assignment is a
+    pure function of (count, parts), so chunking never perturbs
+    determinism.
+    """
+    if parts < 1:
+        raise ParallelError(f"parts must be >= 1, got {parts}")
+    base, extra = divmod(count, parts)
+    chunks: list[range] = []
+    start = 0
+    for part in range(parts):
+        size = base + (1 if part < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+def _worker_main(worker_id, factory, payload, inbox, outbox) -> None:
+    """The worker process loop: bootstrap, then serve messages forever.
+
+    Replies: ``("ack", id, seq, None)`` for broadcasts,
+    ``("result", id, seq, [(index, value), ...])`` for task batches,
+    ``("error", id, seq, traceback_text)`` for any failure
+    (``seq == -1`` marks a bootstrap failure).
+    """
+    try:
+        state = factory(payload)
+    except BaseException:
+        outbox.put(("error", worker_id, -1, traceback.format_exc()))
+        return
+    outbox.put(("ack", worker_id, 0, None))
+    while True:
+        message = inbox.get()
+        kind, seq = message[0], message[1]
+        if kind == "stop":
+            return
+        method, body = message[2], message[3]
+        try:
+            bound = getattr(state, method)
+            if kind == "cast":
+                bound(body)
+                outbox.put(("ack", worker_id, seq, None))
+            else:
+                results = [(index, bound(index, task)) for index, task in body]
+                outbox.put(("result", worker_id, seq, results))
+        except BaseException:
+            outbox.put(("error", worker_id, seq, traceback.format_exc()))
+
+
+class WorkerPool:
+    """N worker processes around per-worker replica states.
+
+    Args:
+        factory: picklable module-level callable; ``factory(payload)``
+            builds the worker's state object once at bootstrap.  Task
+            methods are looked up on that object by name and called as
+            ``method(index, task)``; broadcast methods as
+            ``method(payload)``.
+        payload: pickled to every worker and handed to ``factory``.
+        workers: process count; ``<= 1`` runs inline in the master.
+        start_method: multiprocessing start method (default: ``fork``
+            when available, else the platform default).
+    """
+
+    def __init__(
+        self,
+        factory: Callable,
+        payload=None,
+        *,
+        workers: int = 1,
+        start_method: Optional[str] = None,
+    ):
+        self.workers = max(1, int(workers))
+        self._closed = False
+        self._seq = 0
+        self._state = None
+        self._processes: list = []
+        self._inboxes: list = []
+        self._outbox = None
+        if self.workers == 1:
+            self._state = factory(payload)
+            return
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self._outbox = context.SimpleQueue()
+        try:
+            for worker_id in range(self.workers):
+                inbox = context.SimpleQueue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(worker_id, factory, payload, inbox, self._outbox),
+                    daemon=True,
+                )
+                process.start()
+                self._inboxes.append(inbox)
+                self._processes.append(process)
+            # wait for every bootstrap ack before accepting work, so a
+            # broken factory fails the constructor, not a later phase
+            self._collect("ack", 0, self.workers)
+        except BaseException:
+            self._teardown()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def inline(self) -> bool:
+        """True when the pool runs in-process (``workers <= 1``)."""
+        return self._state is not None
+
+    def broadcast(self, method: str, payload=None) -> None:
+        """Run ``state.method(payload)`` on every worker; waits for all
+        acknowledgements so later phases see a consistent replica set."""
+        self._check_open()
+        if self.inline:
+            getattr(self._state, method)(payload)
+            return
+        self._seq += 1
+        for inbox in self._inboxes:
+            inbox.put(("cast", self._seq, method, payload))
+        self._collect("ack", self._seq, self.workers)
+
+    def run(self, method: str, tasks: Sequence) -> list:
+        """Run ``state.method(index, task)`` for every task, chunked
+        contiguously across the workers; results in task order."""
+        chunks = [
+            [(index, tasks[index]) for index in chunk]
+            for chunk in split_chunks(len(tasks), self.workers)
+        ]
+        merged = self.run_chunks(method, chunks)
+        return [merged[index] for index in range(len(tasks))]
+
+    def run_chunks(
+        self, method: str, chunks: Sequence[Sequence[tuple]]
+    ) -> dict:
+        """Run explicitly assigned ``(index, task)`` chunks; chunk ``i``
+        goes to worker ``i``.  Returns ``{index: result}``.
+
+        This is the sticky-assignment primitive: callers that cached
+        per-task state on a specific worker in an earlier phase route
+        follow-up tasks back to it.
+        """
+        self._check_open()
+        if len(chunks) > self.workers:
+            raise ParallelError(
+                f"{len(chunks)} chunks for {self.workers} worker(s)"
+            )
+        if self.inline:
+            bound = getattr(self._state, method)
+            return {
+                index: bound(index, task)
+                for chunk in chunks
+                for index, task in chunk
+            }
+        self._seq += 1
+        expected = 0
+        for worker_id, chunk in enumerate(chunks):
+            if not chunk:
+                continue
+            self._inboxes[worker_id].put(
+                ("call", self._seq, method, list(chunk))
+            )
+            expected += 1
+        merged: dict = {}
+        for reply in self._collect("result", self._seq, expected):
+            for index, value in reply:
+                merged[index] = value
+        return merged
+
+    def close(self) -> None:
+        """Stop the workers; the pool is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ParallelError("the worker pool is closed")
+
+    def _collect(self, kind: str, seq: int, expected: int) -> list:
+        """Gather ``expected`` replies for phase ``seq`` off the outbox."""
+        replies = []
+        while len(replies) < expected:
+            message = self._outbox.get()
+            reply_kind, worker_id, reply_seq, body = message
+            if reply_kind == "error":
+                self._closed = True
+                self._teardown()
+                stage = "bootstrap" if reply_seq == -1 else f"phase {reply_seq}"
+                raise ParallelError(
+                    f"worker {worker_id} failed during {stage}:\n{body}",
+                    worker_traceback=body,
+                )
+            if reply_seq != seq:
+                # stale reply from an aborted phase; ignore
+                continue
+            replies.append(body)
+        return replies
+
+    def _teardown(self) -> None:
+        for inbox in self._inboxes:
+            try:
+                inbox.put(("stop", -1, None, None))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=_JOIN_TIMEOUT)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT)
+        self._processes = []
+        self._inboxes = []

@@ -1,0 +1,151 @@
+"""Per-worker replica states for the :class:`~repro.parallel.WorkerPool`.
+
+Two replicas cover the system's hot paths:
+
+* :class:`BuildReplica` — XBUILD candidate scoring.  Each worker holds
+  its own copy of the document tree and rebuilds the in-flight synopsis
+  by replaying the refinement trail over the coarsest summary (the same
+  replay contract the checkpoint/resume path proves bit-identical).
+  The master broadcasts each round's applied refinement, so every
+  replica advances in lockstep with the authoritative build.
+* :class:`EstimateReplica` — batched estimation.  Each worker loads an
+  immutable (frozen-graph) synopsis from its persisted payload and
+  serves ``estimate`` tasks through a worker-lifetime
+  :class:`~repro.estimation.estimator.BatchContext`, so queries with
+  common structure share embedding plans and subtree factors.
+
+Both factories are plain module-level functions, picklable under any
+multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..build.oracles import ExactOracle
+from ..errors import BuildError
+from ..estimation.estimator import BatchContext, TwigEstimator
+from ..synopsis.persist import sketch_from_dict, sketch_to_dict
+from ..synopsis.summary import TwigXSketch
+from ..workload.metrics import average_relative_error
+from .pool import WorkerPool
+
+__all__ = [
+    "BuildReplica",
+    "EstimateReplica",
+    "build_replica_factory",
+    "estimate_replica_factory",
+    "parallel_estimate_many",
+]
+
+
+class BuildReplica:
+    """One worker's view of an in-flight XBUILD: tree + synced sketch.
+
+    Task methods (called as ``method(index, task)``):
+
+    * :meth:`probe` — apply a candidate refinement; returns the refined
+      size in bytes, or None when the candidate is inapplicable.  The
+      refined sketch is cached under the task index for the round.
+    * :meth:`score` — estimate the refined sketch's error on the
+      region's sampled queries against the supplied truths.
+    * :meth:`truth` — exact truth-oracle evaluation of one query
+      (memoized for the worker's lifetime, like the master's oracle).
+
+    Broadcast methods:
+
+    * :meth:`advance` — end the round: apply the refinement the master
+      chose (None for a stall round) and drop the round's cache.
+    """
+
+    def __init__(self, tree, config, trail):
+        self.tree = tree
+        sketch = TwigXSketch.coarsest(tree, config)
+        for refinement in trail:
+            sketch = refinement.apply(sketch)
+        self.sketch = sketch
+        self.oracle = ExactOracle(tree)
+        self._round: dict[int, TwigXSketch] = {}
+
+    # -- task methods ---------------------------------------------------
+    def probe(self, index: int, refinement) -> Optional[int]:
+        try:
+            refined = refinement.apply(self.sketch)
+        except BuildError:
+            return None
+        self._round[index] = refined
+        return refined.size_bytes()
+
+    def score(self, index: int, task) -> float:
+        refinement, queries, truths = task
+        refined = self._round.get(index)
+        if refined is None:
+            refined = refinement.apply(self.sketch)
+        estimator = TwigEstimator(refined)
+        return average_relative_error(
+            [estimator.estimate(query) for query in queries], truths
+        )
+
+    def truth(self, index: int, query) -> float:
+        return self.oracle.true_count(query)
+
+    # -- broadcast methods ----------------------------------------------
+    def advance(self, refinement) -> None:
+        if refinement is not None:
+            self.sketch = refinement.apply(self.sketch)
+        self._round.clear()
+
+
+def build_replica_factory(payload: dict) -> BuildReplica:
+    """Bootstrap a :class:`BuildReplica` from the pool payload."""
+    return BuildReplica(payload["tree"], payload["config"], payload["trail"])
+
+
+class EstimateReplica:
+    """One worker's estimation state: a frozen synopsis + batch caches."""
+
+    def __init__(self, sketch_payload: dict, estimator_kwargs: dict):
+        self.sketch = sketch_from_dict(sketch_payload)
+        self.estimator = TwigEstimator(self.sketch, **estimator_kwargs)
+        self.context = BatchContext()
+
+    def estimate(self, index: int, query) -> float:
+        return self.estimator.estimate_many([query], context=self.context)[0]
+
+
+def estimate_replica_factory(payload: dict) -> EstimateReplica:
+    """Bootstrap an :class:`EstimateReplica` from the pool payload."""
+    return EstimateReplica(payload["sketch"], payload["kwargs"])
+
+
+def parallel_estimate_many(
+    sketch: TwigXSketch,
+    queries,
+    *,
+    workers: int = 1,
+    **estimator_kwargs,
+) -> list[float]:
+    """Estimate a batch of twig queries across a worker pool.
+
+    Each worker holds its own synopsis replica; queries are chunked
+    contiguously and results merge back in query order.  Estimates are
+    bit-identical to per-query :meth:`TwigEstimator.estimate` (proven
+    by the determinism tests) because the shared batch caches memoize a
+    pure function of the query plan.
+
+    ``workers <= 1`` evaluates inline through one shared
+    :class:`~repro.estimation.estimator.BatchContext`.
+    """
+    queries = list(queries)
+    if workers <= 1 or len(queries) <= 1:
+        estimator = TwigEstimator(sketch, **estimator_kwargs)
+        return estimator.estimate_many(queries)
+    payload = {
+        "sketch": sketch_to_dict(sketch),
+        "kwargs": dict(estimator_kwargs),
+    }
+    effective = min(workers, len(queries))
+    with WorkerPool(
+        estimate_replica_factory, payload, workers=effective
+    ) as pool:
+        return pool.run("estimate", queries)

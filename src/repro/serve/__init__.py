@@ -5,13 +5,16 @@
   graceful-degradation cascade (twig → path → cst → uniform prior);
 * :class:`EstimateResponse` — the response envelope: estimate, source
   tier, latency, and the warnings accumulated while degrading;
-* :class:`CircuitBreaker` — the consecutive-failure trip switch.
+* :class:`CircuitBreaker` — the consecutive-failure trip switch;
+* :class:`ServePool` — a bounded-queue worker-pool front-end with
+  load shedding and an asyncio adapter (:mod:`repro.serve.pool`).
 
 See README.md "Robustness" and DESIGN.md S23 for the invariants and the
 cascade contract.
 """
 
 from .circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .pool import ServePool
 from .service import (
     DEFAULT_UNIFORM_PRIOR,
     FALLBACK_TIERS,
@@ -32,6 +35,7 @@ __all__ = [
     "FALLBACK_TIERS",
     "HALF_OPEN",
     "OPEN",
+    "ServePool",
     "TIER_CST",
     "TIER_PATH",
     "TIER_TWIG",

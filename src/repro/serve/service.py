@@ -54,7 +54,7 @@ from ..errors import (
     ServiceError,
     SynopsisIntegrityError,
 )
-from ..estimation import PathEstimator, TwigEstimator
+from ..estimation import BatchContext, PathEstimator, TwigEstimator
 from ..obs import explain as _explain
 from ..obs.explain import ExplainRecorder
 from ..obs.metrics import MetricsRegistry, default_registry
@@ -119,6 +119,22 @@ class _Entry:
     sketch: TwigXSketch
     baseline: Optional[CSTEstimator]
     breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
+
+
+@dataclass
+class _BatchState:
+    """Shared estimator state for one :meth:`EstimatorService.submit_batch`.
+
+    The twig estimator carries a :class:`BatchContext`, so queries in the
+    batch share embedding plans and memoized subtree factors; the path
+    estimator is likewise built once instead of per query.  Answers stay
+    bit-identical to per-query :meth:`~EstimatorService.estimate` — the
+    caches memoize pure functions of the query plan.
+    """
+
+    estimator: TwigEstimator
+    context: BatchContext
+    path: PathEstimator
 
 
 def _primary_chain(query: TwigQuery) -> tuple[Path, bool]:
@@ -390,6 +406,67 @@ class EstimatorService:
                 estimate=response.estimate,
                 warnings=len(response.warnings),
             )
+        self._finish(name, entry, response)
+        return response
+
+    def submit_batch(
+        self,
+        name: str,
+        queries,
+        *,
+        deadline: Optional[float] = None,
+    ) -> list[EstimateResponse]:
+        """Estimate a batch of queries; one response per query, in order.
+
+        Answers are bit-identical to per-query :meth:`estimate` but the
+        batch shares one twig estimator (with a
+        :class:`~repro.estimation.BatchContext` — common embedding plans
+        and subtree factors are computed once) and one path estimator.
+        Degradation, circuit breakers, and metrics behave exactly as for
+        individual requests; ``deadline`` applies *per query*.
+
+        Raises:
+            ServiceError: unknown sketch name or invalid deadline.
+        """
+        entry = self._entry(name)
+        if deadline is not None and deadline <= 0:
+            raise ServiceError(
+                f"deadline must be positive, got {deadline!r}"
+            )
+        queries = list(queries)
+        batch = _BatchState(
+            TwigEstimator(
+                entry.sketch,
+                max_embeddings=self.max_embeddings,
+                metrics=self.metrics,
+            ),
+            BatchContext(),
+            PathEstimator(entry.sketch, metrics=self.metrics),
+        )
+        responses = []
+        with self.tracer.span(
+            "serve.batch", sketch=name, queries=len(queries)
+        ):
+            for query in queries:
+                with self.tracer.span(
+                    "serve.request", sketch=name
+                ) as request_span:
+                    response = self._estimate_cascade(
+                        entry, name, query, deadline, None, batch=batch
+                    )
+                    request_span.annotate(
+                        tier=response.source,
+                        estimate=response.estimate,
+                        warnings=len(response.warnings),
+                    )
+                self._finish(name, entry, response)
+                responses.append(response)
+        return responses
+
+    def _finish(
+        self, name: str, entry: _Entry, response: EstimateResponse
+    ) -> None:
+        """Per-response metrics bookkeeping shared by single and batch."""
         self._requests.inc(sketch=name, tier=response.source)
         self._latency.observe(
             response.latency, sketch=name, tier=response.source
@@ -401,7 +478,6 @@ class EstimatorService:
         self._sync_breaker_gauges(
             name, {tier: b.state for tier, b in entry.breakers.items()}
         )
-        return response
 
     def _estimate_cascade(
         self,
@@ -410,6 +486,7 @@ class EstimatorService:
         query: TwigQuery,
         deadline: Optional[float],
         explain: Optional[ExplainRecorder],
+        batch: Optional[_BatchState] = None,
     ) -> EstimateResponse:
         budget = Budget(deadline=deadline, clock=self._clock)
         warnings: list[str] = []
@@ -437,7 +514,7 @@ class EstimatorService:
             try:
                 with self.tracer.span("serve.tier", sketch=name, tier=tier):
                     value = self._run_tier(
-                        entry, tier, query, warnings, explain
+                        entry, tier, query, warnings, explain, batch
                     )
                     value = self._accept(value, tier)
             except _TierUnavailable as skip:
@@ -495,8 +572,13 @@ class EstimatorService:
         query: TwigQuery,
         warnings: list[str],
         explain: Optional[ExplainRecorder] = None,
+        batch: Optional[_BatchState] = None,
     ) -> float:
         if tier == TIER_TWIG:
+            if batch is not None:
+                return batch.estimator.estimate_many(
+                    [query], context=batch.context
+                )[0]
             return TwigEstimator(
                 entry.sketch,
                 max_embeddings=self.max_embeddings,
@@ -510,6 +592,8 @@ class EstimatorService:
                     "path tier collapsed branching siblings to the "
                     "primary chain"
                 )
+            if batch is not None:
+                return batch.path.estimate(chain)
             return PathEstimator(
                 entry.sketch, metrics=self.metrics, explain=explain
             ).estimate(chain)

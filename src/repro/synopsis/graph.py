@@ -90,6 +90,8 @@ class GraphSynopsis:
         # assignment[element.node_id] -> synopsis node id
         self.assignment: list[int] = []
         self._next_id = 0
+        # lazy adjacency index over ``edges`` — rebuilt after mutations
+        self._adjacency: Optional[tuple[dict, dict]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -138,6 +140,7 @@ class GraphSynopsis:
     # edges
     # ------------------------------------------------------------------
     def _recompute_all_edges(self) -> None:
+        self._adjacency = None
         self.edges = {}
         counts: dict[tuple[int, int], int] = {}
         parents: dict[tuple[int, int], set[int]] = {}
@@ -157,6 +160,7 @@ class GraphSynopsis:
 
     def _recompute_edges_touching(self, node_ids: set[int]) -> None:
         """Rebuild edges incident to ``node_ids`` (after a split)."""
+        self._adjacency = None
         for key in [k for k in self.edges if k[0] in node_ids or k[1] in node_ids]:
             del self.edges[key]
         counts: dict[tuple[int, int], int] = {}
@@ -212,13 +216,24 @@ class GraphSynopsis:
         """The synopsis node id containing ``element``."""
         return self.assignment[element.node_id]
 
+    def _adjacency_index(self) -> tuple[dict, dict]:
+        """(children, parents) edge lists per node id, in ``edges`` order."""
+        if self._adjacency is None:
+            children: dict[int, list[SynopsisEdge]] = {}
+            parents: dict[int, list[SynopsisEdge]] = {}
+            for edge in self.edges.values():
+                children.setdefault(edge.source, []).append(edge)
+                parents.setdefault(edge.target, []).append(edge)
+            self._adjacency = (children, parents)
+        return self._adjacency
+
     def children_of(self, node_id: int) -> list[SynopsisEdge]:
         """Outgoing edges of a synopsis node."""
-        return [edge for key, edge in self.edges.items() if key[0] == node_id]
+        return list(self._adjacency_index()[0].get(node_id, ()))
 
     def parents_of(self, node_id: int) -> list[SynopsisEdge]:
         """Incoming edges of a synopsis node."""
-        return [edge for key, edge in self.edges.items() if key[1] == node_id]
+        return list(self._adjacency_index()[1].get(node_id, ()))
 
     def nodes_with_tag(self, tag: str) -> list[SynopsisNode]:
         """All synopsis nodes whose elements carry ``tag``."""

@@ -231,3 +231,66 @@ class TestObservability:
             assert request["tier"] in {"twig", "path", "cst", "uniform"}
             assert isinstance(request["warnings"], list)
         assert payload["breakers"]["twig"] == "closed"
+
+
+class TestParallelFlags:
+    def test_build_with_workers(self, tmp_path, capsys):
+        out_path = tmp_path / "build.json"
+        code = main([
+            "build", "--dataset", "paperfig", "--budget", "2",
+            "--workers", "2", "--metrics-json", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        from repro.obs import validate_payload
+
+        payload = json.loads(out_path.read_text())
+        assert validate_payload(payload) == []
+        by_name = {metric["name"]: metric for metric in payload["metrics"]}
+        cache = by_name["build_oracle_cache_total"]
+        hits = sum(
+            series["value"]
+            for series in cache["series"]
+            if series["labels"].get("outcome") == "hit"
+        )
+        assert hits > 0
+
+    def test_serve_eval_batch_with_pool(self, capsys):
+        code = main([
+            "serve-eval", "--dataset", "paperfig",
+            "--budget", "2", "--queries", "4",
+            "--batch", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "breakers:" in out and "twig=closed" in out
+
+
+class TestTraceReport:
+    def test_report_from_build_trace(self, xml_file, tmp_path, capsys):
+        trace = tmp_path / "build.jsonl"
+        assert main([
+            "build", xml_file, "--budget", "2", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "xbuild.build" in out
+
+    def test_report_json(self, xml_file, tmp_path, capsys):
+        trace = tmp_path / "build.jsonl"
+        assert main([
+            "build", xml_file, "--budget", "2", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] > 0
+        names = {kind["name"] for kind in payload["kinds"]}
+        assert "xbuild.round" in names
+
+    def test_missing_trace_is_error(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "no.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err

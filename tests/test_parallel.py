@@ -1,0 +1,257 @@
+"""Tests for repro.parallel: the pool, replicas, and bit-determinism.
+
+The determinism tests are the tentpole contract of the subsystem: a
+parallel XBUILD (any worker count) produces the byte-identical synopsis
+and refinement trail of the serial build, and batch estimation returns
+exactly the per-query numbers.
+"""
+
+import pytest
+
+from repro.build import XBuild
+from repro.datasets import figure1_document
+from repro.errors import ParallelError
+from repro.estimation import BatchContext, TwigEstimator
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import WorkerPool, parallel_estimate_many, split_chunks
+from repro.synopsis import sketch_to_dict
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def paperfig():
+    return figure1_document()
+
+
+@pytest.fixture(scope="module")
+def paperfig_sketch(paperfig):
+    return XBuild(paperfig, budget_bytes=3072, seed=17).run().sketch
+
+
+@pytest.fixture(scope="module")
+def paperfig_queries(paperfig):
+    spec = WorkloadSpec(seed=11, value_predicates=True)
+    load = WorkloadGenerator(paperfig, spec).positive_workload(30)
+    return [entry.query for entry in load.queries]
+
+
+# ----------------------------------------------------------------------
+# the pool primitive
+# ----------------------------------------------------------------------
+class _Doubler:
+    """A trivial replica: doubles tasks, accumulates broadcast offsets."""
+
+    def __init__(self, offset):
+        self.offset = offset
+
+    def double(self, index, task):
+        return task * 2 + self.offset
+
+    def shift(self, amount):
+        self.offset += amount
+
+    def boom(self, index, task):
+        raise ValueError(f"task {index} exploded")
+
+
+def _doubler_factory(payload):
+    return _Doubler(payload["offset"])
+
+
+def _broken_factory(payload):
+    raise RuntimeError("no bootstrap for you")
+
+
+class TestSplitChunks:
+    def test_balanced_and_contiguous(self):
+        chunks = split_chunks(10, 3)
+        assert [list(c) for c in chunks] == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_fewer_items_than_parts(self):
+        chunks = split_chunks(2, 4)
+        assert [list(c) for c in chunks] == [[0], [1], [], []]
+
+    def test_covers_exactly_once(self):
+        for count in (0, 1, 7, 23):
+            for parts in (1, 2, 5):
+                flat = [i for c in split_chunks(count, parts) for i in c]
+                assert flat == list(range(count))
+
+    def test_invalid_parts(self):
+        with pytest.raises(ParallelError):
+            split_chunks(5, 0)
+
+
+class TestWorkerPool:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_run_order_stable(self, workers):
+        with WorkerPool(
+            _doubler_factory, {"offset": 1}, workers=workers
+        ) as pool:
+            assert pool.run("double", list(range(10))) == [
+                2 * n + 1 for n in range(10)
+            ]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_broadcast_reaches_every_worker(self, workers):
+        with WorkerPool(
+            _doubler_factory, {"offset": 0}, workers=workers
+        ) as pool:
+            pool.broadcast("shift", 5)
+            assert pool.run("double", [0, 0, 0, 0]) == [5, 5, 5, 5]
+
+    def test_run_chunks_sticky_assignment(self):
+        with WorkerPool(
+            _doubler_factory, {"offset": 0}, workers=2
+        ) as pool:
+            merged = pool.run_chunks(
+                "double", [[(7, 10)], [(3, 20)]]
+            )
+            assert merged == {7: 20, 3: 40}
+
+    def test_too_many_chunks_rejected(self):
+        with WorkerPool(
+            _doubler_factory, {"offset": 0}, workers=2
+        ) as pool:
+            with pytest.raises(ParallelError, match="chunks"):
+                pool.run_chunks("double", [[], [], []])
+
+    def test_task_error_propagates_with_traceback(self):
+        pool = WorkerPool(_doubler_factory, {"offset": 0}, workers=2)
+        with pytest.raises(ParallelError, match="exploded") as excinfo:
+            pool.run("boom", [1, 2, 3])
+        assert "ValueError" in excinfo.value.worker_traceback
+
+    def test_bootstrap_error_fails_constructor(self):
+        with pytest.raises(ParallelError, match="bootstrap"):
+            WorkerPool(_broken_factory, None, workers=2)
+
+    def test_closed_pool_rejects_work(self):
+        pool = WorkerPool(_doubler_factory, {"offset": 0}, workers=1)
+        pool.close()
+        with pytest.raises(ParallelError, match="closed"):
+            pool.run("double", [1])
+
+    def test_inline_mode_for_single_worker(self):
+        pool = WorkerPool(_doubler_factory, {"offset": 0}, workers=1)
+        assert pool.inline
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# XBUILD determinism (the tentpole contract)
+# ----------------------------------------------------------------------
+class TestParallelXBuildDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self, paperfig):
+        registry = MetricsRegistry()
+        result = XBuild(
+            paperfig, budget_bytes=4096, seed=17, metrics=registry
+        ).run()
+        return result, registry
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bit_identical_build(self, paperfig, serial, workers):
+        serial_result, serial_registry = serial
+        registry = MetricsRegistry()
+        result = XBuild(
+            paperfig,
+            budget_bytes=4096,
+            seed=17,
+            metrics=registry,
+            workers=workers,
+        ).run()
+        assert [
+            (s.description, s.size_bytes, s.gain) for s in result.steps
+        ] == [
+            (s.description, s.size_bytes, s.gain)
+            for s in serial_result.steps
+        ]
+        assert sketch_to_dict(result.sketch) == sketch_to_dict(
+            serial_result.sketch
+        )
+        # the evaluation counters agree too: same classification, same
+        # oracle traffic, same cache behaviour
+        def counters(reg, name):
+            return {
+                tuple(sorted(labels.items())): value
+                for labels, value in reg.get(name).series()
+            }
+
+        for name in (
+            "build_candidates_total",
+            "build_oracle_calls_total",
+            "build_oracle_cache_total",
+        ):
+            assert counters(registry, name) == counters(
+                serial_registry, name
+            )
+
+    def test_oracle_cache_hits_recorded(self, serial):
+        _, registry = serial
+        cache = registry.get("build_oracle_cache_total")
+        assert cache.value(outcome="hit") > 0
+        assert cache.value(outcome="miss") > 0
+        # oracle evaluations == cache misses (each miss evaluates once)
+        assert registry.get("build_oracle_calls_total").value() == (
+            cache.value(outcome="miss")
+        )
+
+
+# ----------------------------------------------------------------------
+# batch estimation
+# ----------------------------------------------------------------------
+class TestBatchEstimation:
+    def test_estimate_many_equals_per_query(
+        self, paperfig_sketch, paperfig_queries
+    ):
+        estimator = TwigEstimator(paperfig_sketch)
+        serial = [estimator.estimate(q) for q in paperfig_queries]
+        batched = TwigEstimator(paperfig_sketch).estimate_many(
+            paperfig_queries
+        )
+        assert batched == serial
+
+    def test_context_reuse_across_calls(
+        self, paperfig_sketch, paperfig_queries
+    ):
+        estimator = TwigEstimator(paperfig_sketch)
+        expected = [estimator.estimate(q) for q in paperfig_queries]
+        context = BatchContext()
+        first = estimator.estimate_many(paperfig_queries, context=context)
+        hits_after_first = context.hits
+        second = estimator.estimate_many(paperfig_queries, context=context)
+        assert first == expected
+        assert second == expected
+        # the second pass reuses plans and memo entries
+        assert context.hits > hits_after_first
+        assert len(context.plans) <= len(paperfig_queries)
+
+    def test_memo_shared_across_queries(
+        self, paperfig_sketch, paperfig_queries
+    ):
+        context = BatchContext()
+        TwigEstimator(paperfig_sketch).estimate_many(
+            paperfig_queries, context=context
+        )
+        assert context.hits > 0  # common structure pays once
+
+    def test_report_many_matches_report(
+        self, paperfig_sketch, paperfig_queries
+    ):
+        estimator = TwigEstimator(paperfig_sketch)
+        singles = [estimator.report(q) for q in paperfig_queries]
+        batch = estimator.report_many(paperfig_queries)
+        assert [
+            (r.selectivity, r.embeddings, r.truncated) for r in batch
+        ] == [(r.selectivity, r.embeddings, r.truncated) for r in singles]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_parallel_estimate_many_equal(
+        self, paperfig_sketch, paperfig_queries, workers
+    ):
+        estimator = TwigEstimator(paperfig_sketch)
+        expected = [estimator.estimate(q) for q in paperfig_queries]
+        assert parallel_estimate_many(
+            paperfig_sketch, paperfig_queries, workers=workers
+        ) == expected

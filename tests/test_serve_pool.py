@@ -1,0 +1,203 @@
+"""Tests for the queued serving front-end (repro.serve.pool)."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.build import xbuild
+from repro.datasets import generate_imdb
+from repro.errors import ServiceError
+from repro.obs.metrics import MetricsRegistry
+from repro.query import parse_for_clause
+from repro.serve import EstimatorService, ServePool, TIER_UNIFORM
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class GatedService(EstimatorService):
+    """A service whose single-query path blocks until released — lets
+    the tests hold a pool worker busy deterministically."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def estimate(self, name, query, *, deadline=None, explain=None):
+        self.started.set()
+        self.gate.wait(timeout=30)
+        return super().estimate(name, query, deadline=deadline)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return generate_imdb(2000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def sketch(tree):
+    return xbuild(tree, budget_bytes=3 * 1024, seed=3)
+
+
+@pytest.fixture(scope="module")
+def queries(tree):
+    spec = WorkloadSpec(seed=7, value_predicates=True)
+    load = WorkloadGenerator(tree, spec).positive_workload(12)
+    return [entry.query for entry in load.queries]
+
+
+@pytest.fixture()
+def query():
+    return parse_for_clause("for m in movie, a in m/actor")
+
+
+def _service(sketch):
+    service = EstimatorService(metrics=MetricsRegistry())
+    service.register("imdb", sketch)
+    return service
+
+
+class TestSubmission:
+    def test_submit_matches_direct_estimate(self, sketch, queries):
+        service = _service(sketch)
+        direct = [service.estimate("imdb", q) for q in queries]
+        with ServePool(service, workers=2) as pool:
+            futures = [pool.submit("imdb", q) for q in queries]
+            pooled = [f.result(timeout=30) for f in futures]
+        assert [(r.estimate, r.source) for r in pooled] == [
+            (r.estimate, r.source) for r in direct
+        ]
+
+    def test_submit_batch_matches_per_query(self, sketch, queries):
+        service = _service(sketch)
+        direct = [service.estimate("imdb", q) for q in queries]
+        with ServePool(service, workers=2) as pool:
+            batch = pool.submit_batch("imdb", queries).result(timeout=30)
+        assert [(r.estimate, r.source) for r in batch] == [
+            (r.estimate, r.source) for r in direct
+        ]
+
+    def test_estimate_async(self, sketch, query):
+        service = _service(sketch)
+        expected = service.estimate("imdb", query)
+
+        async def drive(pool):
+            return await pool.estimate_async("imdb", query)
+
+        with ServePool(service, workers=1) as pool:
+            response = asyncio.run(drive(pool))
+        assert response.estimate == expected.estimate
+        assert response.source == expected.source
+
+    def test_pool_metrics_recorded(self, sketch, query):
+        service = _service(sketch)
+        with ServePool(service, workers=1) as pool:
+            pool.submit("imdb", query).result(timeout=30)
+        registry = service.metrics
+        assert registry.get("serve_pool_requests_total").value(
+            outcome="ok"
+        ) == 1
+        waited = registry.get("serve_pool_wait_seconds").snapshot_series()
+        assert waited is not None and waited["count"] == 1
+
+
+class TestValidation:
+    def test_unknown_sketch_raises(self, sketch, query):
+        service = _service(sketch)
+        with ServePool(service, workers=1) as pool:
+            with pytest.raises(ServiceError):
+                pool.submit("nope", query)
+
+    def test_bad_deadline_raises(self, sketch, query):
+        service = _service(sketch)
+        with ServePool(service, workers=1) as pool:
+            with pytest.raises(ServiceError):
+                pool.submit("imdb", query, deadline=0)
+
+    def test_bad_sizing_raises(self, sketch):
+        service = _service(sketch)
+        with pytest.raises(ServiceError):
+            ServePool(service, workers=0)
+        with pytest.raises(ServiceError):
+            ServePool(service, max_queue=0)
+
+    def test_closed_pool_rejects_submissions(self, sketch, query):
+        service = _service(sketch)
+        pool = ServePool(service, workers=1)
+        pool.close()
+        with pytest.raises(ServiceError):
+            pool.submit("imdb", query)
+
+
+class TestShedding:
+    def test_queue_full_sheds_to_uniform(self, sketch, query):
+        service = GatedService(metrics=MetricsRegistry())
+        service.register("imdb", sketch)
+        pool = ServePool(service, workers=1, max_queue=1)
+        try:
+            # first request occupies the single worker...
+            blocked = pool.submit("imdb", query)
+            assert service.started.wait(timeout=30)
+            # ...second fills the queue, third is over capacity
+            queued = pool.submit("imdb", query)
+            shed = pool.submit("imdb", query)
+            assert shed.done()  # resolved immediately, no worker involved
+            response = shed.result()
+            assert response.source == TIER_UNIFORM
+            assert response.estimate == service.uniform_prior
+            assert "shed: queue full" in response.warnings
+        finally:
+            service.gate.set()
+            pool.close()
+        # the held and queued requests still completed normally
+        assert blocked.result().source != TIER_UNIFORM
+        assert queued.result().source != TIER_UNIFORM
+        registry = service.metrics
+        assert registry.get("serve_pool_shed_total").value(
+            reason="queue_full"
+        ) == 1
+        assert registry.get("serve_pool_requests_total").value(
+            outcome="shed"
+        ) == 1
+
+    def test_deadline_expired_in_queue_sheds(self, sketch, query):
+        clock = FakeClock()
+        service = GatedService(metrics=MetricsRegistry())
+        service.register("imdb", sketch)
+        pool = ServePool(service, workers=1, max_queue=4, clock=clock)
+        try:
+            blocked = pool.submit("imdb", query)
+            assert service.started.wait(timeout=30)
+            stale = pool.submit("imdb", query, deadline=0.05)
+            clock.advance(1.0)  # the deadline elapses while queued
+        finally:
+            service.gate.set()
+            pool.close()
+        assert blocked.result().source != TIER_UNIFORM
+        response = stale.result()
+        assert response.source == TIER_UNIFORM
+        assert "shed: deadline expired in queue" in response.warnings
+        assert service.metrics.get("serve_pool_shed_total").value(
+            reason="deadline"
+        ) == 1
+
+    def test_close_drains_queued_work(self, sketch, queries):
+        service = _service(sketch)
+        pool = ServePool(service, workers=1, max_queue=32)
+        futures = [pool.submit("imdb", q) for q in queries]
+        pool.close(wait=True)
+        assert all(f.done() for f in futures)
+        assert all(
+            f.result().source != TIER_UNIFORM for f in futures
+        )
